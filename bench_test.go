@@ -1,0 +1,215 @@
+// Repository-level benchmarks: one per table/figure of the paper's
+// evaluation (regenerating the same configuration shapes at reduced
+// iteration counts; `cmd/experiments` runs them at full fidelity), plus
+// ablation benches for the design choices called out in DESIGN.md.
+//
+// Each benchmark reports virtual-ms/op custom metrics where the
+// simulated time is the quantity of interest; wall-clock ns/op
+// measures the simulator itself.
+package scaffe
+
+import (
+	"testing"
+
+	"scaffe/internal/experiments"
+	"scaffe/internal/sim"
+)
+
+// benchOpts keeps per-iteration work bounded; the shapes are identical
+// to the full experiments.
+var benchOpts = experiments.Options{Iterations: 2, MaxGPUs: 64}
+
+// fullScaleOpts is used where the phenomenon needs the 160-GPU scale.
+var fullScaleOpts = experiments.Options{Iterations: 2}
+
+func runExperiment(b *testing.B, id string, opts experiments.Options) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1FeatureMatrix(b *testing.B)       { runExperiment(b, "table1", benchOpts) }
+func BenchmarkFigure8GoogLeNetScaling(b *testing.B)   { runExperiment(b, "figure8", benchOpts) }
+func BenchmarkFigure9CIFAR10Scaling(b *testing.B)     { runExperiment(b, "figure9", benchOpts) }
+func BenchmarkFigure10AlexNetSPS(b *testing.B)        { runExperiment(b, "figure10", benchOpts) }
+func BenchmarkFigure11HRvsVariants(b *testing.B)      { runExperiment(b, "figure11", benchOpts) }
+func BenchmarkFigure12HRvsMPIBaselines(b *testing.B)  { runExperiment(b, "figure12", benchOpts) }
+func BenchmarkFigure13SCOBOverlap(b *testing.B)       { runExperiment(b, "figure13", benchOpts) }
+func BenchmarkTable2HRCoDesign(b *testing.B)          { runExperiment(b, "table2", benchOpts) }
+func BenchmarkSCOBROverlap(b *testing.B)              { runExperiment(b, "scobr", benchOpts) }
+func BenchmarkEq12CostModel(b *testing.B)             { runExperiment(b, "costmodel", benchOpts) }
+func BenchmarkFigure11FullScale160(b *testing.B)      { runExperiment(b, "figure11", fullScaleOpts) }
+func BenchmarkExtWeakScaling(b *testing.B)            { runExperiment(b, "weakscaling", benchOpts) }
+func BenchmarkExtThreeLevelReduce(b *testing.B)       { runExperiment(b, "threelevel", benchOpts) }
+func BenchmarkExtAllreduceRetrospective(b *testing.B) { runExperiment(b, "allreduce", benchOpts) }
+func BenchmarkExtSkewSensitivity(b *testing.B)        { runExperiment(b, "skew", benchOpts) }
+func BenchmarkExtBucketing(b *testing.B)              { runExperiment(b, "bucketing", benchOpts) }
+func BenchmarkExtMPvsDP(b *testing.B)                 { runExperiment(b, "mpdp", benchOpts) }
+func BenchmarkExtAccuracyEquivalence(b *testing.B) {
+	runExperiment(b, "accuracy", experiments.Options{Iterations: 10})
+}
+
+// BenchmarkReduce256MB160GPUs measures the headline reduction point
+// (256 MB over 160 GPUs) per algorithm, reporting the virtual latency.
+func BenchmarkReduce256MB160GPUs(b *testing.B) {
+	for _, alg := range []struct {
+		name string
+		a    ReduceAlgorithm
+	}{
+		{"HR", ReduceHR},
+		{"CC8", ReduceCC},
+		{"CB8", ReduceCB},
+		{"MV2", ReduceMV2},
+		{"OpenMPI", ReduceOpenMPI},
+	} {
+		b.Run(alg.name, func(b *testing.B) {
+			var lat sim.Duration
+			for i := 0; i < b.N; i++ {
+				var err error
+				lat, err = ReduceBench(ReduceBenchConfig{
+					Ranks: 160, Bytes: 256 << 20, Algorithm: alg.a, Trials: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(lat.Milliseconds(), "virtual-ms/op")
+		})
+	}
+}
+
+// BenchmarkAblationChainSize sweeps the lower-level communicator size
+// — the paper's finding that 8 is the ideal chain length (Section 5).
+func BenchmarkAblationChainSize(b *testing.B) {
+	for _, chain := range []int{2, 4, 8, 16, 32} {
+		b.Run(name("chain", chain), func(b *testing.B) {
+			var lat sim.Duration
+			for i := 0; i < b.N; i++ {
+				var err error
+				lat, err = ReduceBench(ReduceBenchConfig{
+					Ranks: 64, Bytes: 64 << 20, Algorithm: ReduceCB,
+					Options: ReduceOptions{ChainSize: chain, OnGPU: true},
+					Trials:  1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(lat.Milliseconds(), "virtual-ms/op")
+		})
+	}
+}
+
+// BenchmarkAblationChunkCount sweeps the pipeline depth n of Eq. (2).
+func BenchmarkAblationChunkCount(b *testing.B) {
+	for _, chunks := range []int{1, 4, 16, 64} {
+		b.Run(name("chunks", chunks), func(b *testing.B) {
+			var lat sim.Duration
+			for i := 0; i < b.N; i++ {
+				var err error
+				lat, err = ReduceBench(ReduceBenchConfig{
+					Ranks: 8, Bytes: 64 << 20, Algorithm: ReduceChain,
+					Options: ReduceOptions{ChainSize: 8, Chunks: chunks, OnGPU: true},
+					Trials:  1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(lat.Milliseconds(), "virtual-ms/op")
+		})
+	}
+}
+
+// BenchmarkAblationGPUvsCPUReduce isolates the kernel-based reduction
+// co-design: the identical CB-8 schedule with GPU kernels vs host CPU
+// arithmetic.
+func BenchmarkAblationGPUvsCPUReduce(b *testing.B) {
+	for _, onGPU := range []bool{true, false} {
+		label := "gpu-kernels"
+		if !onGPU {
+			label = "cpu-arithmetic"
+		}
+		b.Run(label, func(b *testing.B) {
+			var lat sim.Duration
+			for i := 0; i < b.N; i++ {
+				var err error
+				lat, err = ReduceBench(ReduceBenchConfig{
+					Ranks: 64, Bytes: 64 << 20, Algorithm: ReduceCB,
+					Options: ReduceOptions{ChainSize: 8, OnGPU: onGPU},
+					Trials:  1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(lat.Milliseconds(), "virtual-ms/op")
+		})
+	}
+}
+
+// BenchmarkAblationDesigns compares the three S-Caffe pipelines on the
+// same GoogLeNet configuration (the ablation behind Figures 13 and
+// Table 2 combined).
+func BenchmarkAblationDesigns(b *testing.B) {
+	for _, d := range []struct {
+		name   string
+		design Design
+	}{
+		{"SC-B", SCB}, {"SC-OB", SCOB}, {"SC-OBR", SCOBR},
+	} {
+		b.Run(d.name, func(b *testing.B) {
+			var total sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := Train(Config{
+					Spec: MustModel("googlenet"), GPUs: 32, Nodes: 2, GPUsPerNode: 16,
+					GlobalBatch: 256, Iterations: 2,
+					Design: d.design, Reduce: ReduceHR, Source: InMemory, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.TotalTime
+			}
+			b.ReportMetric(total.Milliseconds(), "virtual-ms/op")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the raw discrete-event engine:
+// events processed per wall-clock second for a communication-heavy
+// workload (useful when extending the simulator).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ReduceBench(ReduceBenchConfig{
+			Ranks: 128, Bytes: 64 << 20, Algorithm: ReduceCC, Trials: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func name(prefix string, v int) string {
+	return prefix + "-" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,186 @@
+// Command scaffe-train runs one distributed-training configuration on
+// the simulated cluster and reports timing, throughput, and the
+// per-phase breakdown — the equivalent of launching the original
+// S-Caffe under mpirun with a solver prototxt.
+//
+// Examples:
+//
+//	scaffe-train -model googlenet -gpus 160 -batch 1280 -design scobr -reduce hr -data imagedata
+//	scaffe-train -model alexnet -gpus 16 -nodes 20 -gpus-per-node 2 -design cntk
+//	scaffe-train -model cifar10-quick -gpus 4 -real -iters 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scaffe"
+	"scaffe/internal/proto"
+)
+
+func main() {
+	solverFile := flag.String("solver", "", "load the configuration from a Caffe-style solver prototxt (model/design/reduce/data flags are ignored when set)")
+	model := flag.String("model", "googlenet", "model: lenet, cifar10-quick, alexnet, caffenet, googlenet, vgg16, nin, tiny")
+	gpus := flag.Int("gpus", 16, "number of GPUs (MPI ranks)")
+	nodes := flag.Int("nodes", 0, "cluster nodes (0 = auto from -gpus-per-node)")
+	perNode := flag.Int("gpus-per-node", 16, "GPUs per node (Cluster-A: 16, Cluster-B: 2)")
+	batch := flag.Int("batch", 256, "effective batch size")
+	scal := flag.String("scal", "strong", "scaling mode: strong (batch divided across GPUs) or weak (batch per GPU)")
+	iters := flag.Int("iters", 20, "training iterations")
+	design := flag.String("design", "scobr", "pipeline: scb, scob, scobr, caffe, cntk, ps, mp")
+	reduce := flag.String("reduce", "hr", "gradient aggregation: binomial, chain, cc, cb, ccb, hr, mv2, openmpi, rsg")
+	chain := flag.Int("chain", 8, "chain size for hierarchical reductions")
+	source := flag.String("data", "imagedata", "data backend: memory, lmdb, imagedata")
+	real := flag.Bool("real", false, "real-compute mode (actual float32 training; small models only)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	traceFile := flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file")
+	gantt := flag.Bool("gantt", false, "print an ASCII timeline of the run")
+	flag.Parse()
+
+	var cfg scaffe.Config
+	if *solverFile != "" {
+		loaded, err := proto.LoadSolver(*solverFile)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = loaded
+		cfg.Seed = *seed
+	} else {
+		spec, err := scaffe.Model(*model)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = scaffe.Config{
+			Spec:        spec,
+			GPUs:        *gpus,
+			Nodes:       *nodes,
+			GPUsPerNode: *perNode,
+			GlobalBatch: *batch,
+			Weak:        *scal == "weak",
+			Iterations:  *iters,
+			Seed:        *seed,
+		}
+		cfg.ReduceOpts.ChainSize = *chain
+		cfg.ReduceOpts.OnGPU = true
+	}
+
+	if *solverFile == "" {
+		switch strings.ToLower(*design) {
+		case "scb":
+			cfg.Design = scaffe.SCB
+		case "scob":
+			cfg.Design = scaffe.SCOB
+		case "scobr":
+			cfg.Design = scaffe.SCOBR
+		case "caffe":
+			cfg.Design = scaffe.Caffe
+		case "cntk":
+			cfg.Design = scaffe.CNTK
+		case "ps", "inspur":
+			cfg.Design = scaffe.InspurPS
+		case "mp":
+			cfg.Design = scaffe.MPICaffe
+		default:
+			fatal(fmt.Errorf("unknown design %q", *design))
+		}
+		switch strings.ToLower(*reduce) {
+		case "binomial":
+			cfg.Reduce = scaffe.ReduceBinomial
+		case "chain":
+			cfg.Reduce = scaffe.ReduceChain
+		case "cc":
+			cfg.Reduce = scaffe.ReduceCC
+		case "cb":
+			cfg.Reduce = scaffe.ReduceCB
+		case "ccb":
+			cfg.Reduce = scaffe.ReduceCCB
+		case "rsg":
+			cfg.Reduce = scaffe.ReduceRabenseifner
+		case "hr", "tuned":
+			cfg.Reduce = scaffe.ReduceHR
+		case "mv2":
+			cfg.Reduce = scaffe.ReduceMV2
+		case "openmpi":
+			cfg.Reduce = scaffe.ReduceOpenMPI
+		default:
+			fatal(fmt.Errorf("unknown reduce algorithm %q", *reduce))
+		}
+		switch strings.ToLower(*source) {
+		case "memory":
+			cfg.Source = scaffe.InMemory
+		case "lmdb":
+			cfg.Source = scaffe.LMDB
+		case "imagedata":
+			cfg.Source = scaffe.ImageData
+		default:
+			fatal(fmt.Errorf("unknown data backend %q", *source))
+		}
+	}
+	if *real {
+		builder, err := scaffe.RealNetBuilder(*model)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err := scaffe.SyntheticDataset(*model, 1<<16, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.RealNet = builder
+		cfg.Dataset = ds
+		cfg.BaseLR = 0.01
+		cfg.Momentum = 0.9
+	}
+
+	var rec *scaffe.Trace
+	if *traceFile != "" || *gantt {
+		rec = scaffe.NewTrace()
+		cfg.Trace = rec
+	}
+
+	res, err := scaffe.Train(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("model=%s design=%s reduce=%s data=%s\n", res.Model, res.Design, res.ReduceAlg, res.Source)
+	fmt.Printf("gpus=%d global-batch=%d local-batch=%d iterations=%d\n",
+		res.GPUs, res.GlobalBatch, res.LocalBatch, res.Iterations)
+	fmt.Printf("total time:      %v\n", res.TotalTime)
+	fmt.Printf("time/iteration:  %v\n", res.TimePerIter())
+	fmt.Printf("throughput:      %.1f samples/sec\n", res.SamplesPerSec)
+	fmt.Printf("root solver blocked-time breakdown:\n")
+	fmt.Printf("  data wait:     %v\n", res.Phases.DataWait)
+	fmt.Printf("  propagation:   %v\n", res.Phases.Propagation)
+	fmt.Printf("  forward:       %v\n", res.Phases.Forward)
+	fmt.Printf("  backward:      %v\n", res.Phases.Backward)
+	fmt.Printf("  aggregation:   %v\n", res.Phases.Aggregation)
+	fmt.Printf("  update:        %v\n", res.Phases.Update)
+	fmt.Printf("link utilization: HCA %.0f%%, PCIe %.0f%%\n",
+		res.HCAUtilization*100, res.PCIeUtilization*100)
+	if len(res.Losses) > 0 {
+		fmt.Printf("loss: first=%.4f last=%.4f\n", res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+	if *gantt {
+		fmt.Print(rec.Gantt(100))
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceFile, rec.Len())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scaffe-train:", err)
+	os.Exit(1)
+}

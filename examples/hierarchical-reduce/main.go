@@ -1,0 +1,59 @@
+// Hierarchical-reduce tour: exercises the collective layer directly —
+// the OSU-style micro-benchmark across the paper's reduction designs
+// at 160 GPU processes, showing the Section 5 story: the chunked chain
+// wins within a node group, the binomial tree wins across many
+// processes, and the tuned two-level HR takes the best of both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaffe"
+)
+
+func main() {
+	const ranks = 160
+	algorithms := []struct {
+		name string
+		alg  scaffe.ReduceAlgorithm
+	}{
+		{"binomial (Eq.1)", scaffe.ReduceBinomial},
+		{"chain (Eq.2)", scaffe.ReduceChain},
+		{"CC-8 (two-level chains)", scaffe.ReduceCC},
+		{"CB-8 (chains + binomial)", scaffe.ReduceCB},
+		{"HR (tuned)", scaffe.ReduceHR},
+		{"MVAPICH2 baseline", scaffe.ReduceMV2},
+		{"OpenMPI baseline", scaffe.ReduceOpenMPI},
+	}
+
+	fmt.Printf("MPI_Reduce latency on %d simulated K-80 GPUs (Cluster-A)\n\n", ranks)
+	fmt.Printf("%-28s", "algorithm")
+	sizes := []int64{4 << 20, 64 << 20, 256 << 20}
+	for _, s := range sizes {
+		fmt.Printf("%14dMB", s>>20)
+	}
+	fmt.Println()
+
+	var hr, ompi [3]float64
+	for _, a := range algorithms {
+		fmt.Printf("%-28s", a.name)
+		for i, size := range sizes {
+			lat, err := scaffe.ReduceBench(scaffe.ReduceBenchConfig{
+				Ranks: ranks, Bytes: size, Algorithm: a.alg,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%16v", lat)
+			if a.alg == scaffe.ReduceHR {
+				hr[i] = float64(lat)
+			}
+			if a.alg == scaffe.ReduceOpenMPI {
+				ompi[i] = float64(lat)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nHR vs OpenMPI speedup at 256MB: %.0fx (paper: up to 133x)\n", ompi[2]/hr[2])
+}

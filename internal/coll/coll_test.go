@@ -1,0 +1,585 @@
+package coll
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+func newWorld(t testing.TB, nodes, gpusPerNode, ranks int) *mpi.World {
+	t.Helper()
+	k := sim.New()
+	c := topology.New(k, "test", nodes, gpusPerNode, topology.DefaultParams())
+	return mpi.NewWorld(c, ranks)
+}
+
+// runReduce executes one reduction over `ranks` ranks with per-rank
+// payloads of n elements where rank i contributes value i+1 to every
+// element, and returns root's result plus the final virtual time.
+func runReduce(t testing.TB, alg Algorithm, o Options, ranks, n int) ([]float32, sim.Time) {
+	t.Helper()
+	nodes := (ranks + 3) / 4
+	w := newWorld(t, nodes, 4, ranks)
+	c := w.WorldComm()
+	red := NewReducer(c, alg, o)
+	var result []float32
+	end, err := w.Run(func(r *mpi.Rank) {
+		buf := gpu.NewDataBuffer(n)
+		buf.Fill(float32(r.ID + 1))
+		red.Reduce(r, buf, 10)
+		if r.ID == 0 {
+			result = append([]float32(nil), buf.Data...)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result, end
+}
+
+func expectSum(t *testing.T, got []float32, ranks int) {
+	t.Helper()
+	want := float32(ranks * (ranks + 1) / 2)
+	for i, v := range got {
+		if v != want {
+			t.Fatalf("element %d = %v, want %v (sum over %d ranks)", i, v, want, ranks)
+		}
+	}
+}
+
+func TestBinomialReduceCorrect(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 4, 7, 8, 13, 16} {
+		got, _ := runReduce(t, Binomial, DefaultOptions(), ranks, 37)
+		expectSum(t, got, ranks)
+	}
+}
+
+func TestChainReduceCorrect(t *testing.T) {
+	for _, ranks := range []int{1, 2, 3, 5, 8} {
+		for _, chunks := range []int{1, 3, 8} {
+			o := DefaultOptions()
+			o.Chunks = chunks
+			got, _ := runReduce(t, Chain, o, ranks, 41)
+			expectSum(t, got, ranks)
+		}
+	}
+}
+
+func TestChainMoreChunksThanElems(t *testing.T) {
+	o := DefaultOptions()
+	o.Chunks = 16
+	got, _ := runReduce(t, Chain, o, 4, 5) // 5 elems, 16 requested chunks
+	expectSum(t, got, 4)
+}
+
+func TestHierarchicalCCCorrect(t *testing.T) {
+	for _, ranks := range []int{8, 12, 16, 24} {
+		o := DefaultOptions()
+		o.ChainSize = 4
+		got, _ := runReduce(t, ChainChain, o, ranks, 29)
+		expectSum(t, got, ranks)
+	}
+}
+
+func TestHierarchicalCBCorrect(t *testing.T) {
+	for _, ranks := range []int{8, 12, 16, 24} {
+		o := DefaultOptions()
+		o.ChainSize = 4
+		got, _ := runReduce(t, ChainBinomial, o, ranks, 29)
+		expectSum(t, got, ranks)
+	}
+}
+
+func TestThreeLevelCCBCorrect(t *testing.T) {
+	// The future-work design: chains of 4 -> chains over leaders ->
+	// binomial over top leaders, verified numerically at several
+	// sizes including non-multiples of the chain size.
+	for _, ranks := range []int{4, 16, 23, 64} {
+		o := DefaultOptions()
+		o.ChainSize = 4
+		got, _ := runReduce(t, ChainChainBinomial, o, ranks, 31)
+		expectSum(t, got, ranks)
+	}
+}
+
+func TestThreeLevelCCBScalesAtVeryLargeCounts(t *testing.T) {
+	// CCB's raison d'être: beyond what two levels cover, the third
+	// level keeps the top fan-in logarithmic. At 160 ranks it should
+	// at least stay within range of CB (both use binomial tops).
+	o := DefaultOptions()
+	_, tCCB := runReduce(t, ChainChainBinomial, o, 64, 1<<20)
+	_, tBin := runReduce(t, Binomial, o, 64, 1<<20)
+	if tCCB >= tBin {
+		t.Errorf("4MB/64 ranks: CCB (%v) should beat flat binomial (%v)", tCCB, tBin)
+	}
+}
+
+func TestCCBName(t *testing.T) {
+	w := newWorld(t, 8, 4, 32)
+	red := NewReducer(w.WorldComm(), ChainChainBinomial, DefaultOptions())
+	if red.Name() != "CCB-8" {
+		t.Errorf("name = %q, want CCB-8", red.Name())
+	}
+	if ChainChainBinomial.String() != "CCB" {
+		t.Errorf("algorithm string = %q", ChainChainBinomial.String())
+	}
+}
+
+func TestTunedCorrectAcrossSizes(t *testing.T) {
+	for _, n := range []int{8, 1 << 16, 1 << 20} { // 32B, 256KB, 4MB
+		got, _ := runReduce(t, Tuned, DefaultOptions(), 16, n)
+		expectSum(t, got, 16)
+	}
+}
+
+func TestBaselinesCorrect(t *testing.T) {
+	for _, alg := range []Algorithm{MV2Baseline, OpenMPIBaseline} {
+		got, _ := runReduce(t, alg, DefaultOptions(), 8, 33)
+		expectSum(t, got, 8)
+	}
+}
+
+func TestReducePropertyRandomShapes(t *testing.T) {
+	// Property: for random (algorithm, ranks, elems, chain size) the
+	// root always holds the exact element-wise sum.
+	algs := []Algorithm{Binomial, Chain, ChainChain, ChainBinomial, Tuned}
+	f := func(algSeed, ranksSeed, elemSeed, chainSeed uint8) bool {
+		alg := algs[int(algSeed)%len(algs)]
+		ranks := 1 + int(ranksSeed)%16
+		elems := 1 + int(elemSeed)%200
+		o := DefaultOptions()
+		o.ChainSize = 1 + int(chainSeed)%8
+		got, _ := runReduce(t, alg, o, ranks, elems)
+		want := float32(ranks * (ranks + 1) / 2)
+		for _, v := range got {
+			if v != want {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainBeatsBinomialForLargeBuffers(t *testing.T) {
+	// Paper Section 5: for large b and small P, T(CC) << T(Bin).
+	const ranks, elems = 8, 8 << 20 / 4 // 8 MB
+	_, tChain := runReduce(t, Chain, DefaultOptions(), ranks, elems)
+	_, tBin := runReduce(t, Binomial, DefaultOptions(), ranks, elems)
+	if tChain >= tBin {
+		t.Errorf("16MB/8 ranks: chain %v should beat binomial %v", tChain, tBin)
+	}
+}
+
+func TestBinomialBeatsChainForManyProcsSmallBuffers(t *testing.T) {
+	// Paper Section 5: for large P and small b, T(CC) >> T(Bin).
+	const ranks, elems = 64, 1024 // 4 KB
+	o := DefaultOptions()
+	o.Chunks = 4
+	_, tChain := runReduce(t, Chain, o, ranks, elems)
+	_, tBin := runReduce(t, Binomial, DefaultOptions(), ranks, elems)
+	if tBin >= tChain {
+		t.Errorf("4KB/64 ranks: binomial %v should beat chain %v", tBin, tChain)
+	}
+}
+
+func TestHRBeatsMV2AtScale(t *testing.T) {
+	const ranks = 32
+	const elems = 8 << 20 / 4 // 8 MB
+	_, tHR := runReduce(t, Tuned, DefaultOptions(), ranks, elems)
+	_, tMV2 := runReduce(t, MV2Baseline, DefaultOptions(), ranks, elems)
+	if tHR >= tMV2 {
+		t.Errorf("32MB/32 ranks: HR %v should beat MV2 %v", tHR, tMV2)
+	}
+}
+
+func TestMV2BeatsOpenMPIAtScale(t *testing.T) {
+	const ranks = 32
+	const elems = 8 << 20 / 4
+	_, tMV2 := runReduce(t, MV2Baseline, DefaultOptions(), ranks, elems)
+	_, tOMPI := runReduce(t, OpenMPIBaseline, DefaultOptions(), ranks, elems)
+	if tMV2 >= tOMPI {
+		t.Errorf("32MB/32 ranks: MV2 %v should beat OpenMPI %v", tMV2, tOMPI)
+	}
+}
+
+func TestAllreduceCorrect(t *testing.T) {
+	const ranks = 6
+	w := newWorld(t, 2, 4, ranks)
+	c := w.WorldComm()
+	red := NewReducer(c, Binomial, DefaultOptions())
+	results := make([][]float32, ranks)
+	_, err := w.Run(func(r *mpi.Rank) {
+		buf := gpu.NewDataBuffer(17)
+		buf.Fill(float32(r.ID + 1))
+		Allreduce(red, c, r, buf, 50, topology.ModeAuto)
+		results[r.ID] = append([]float32(nil), buf.Data...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float32(ranks * (ranks + 1) / 2)
+	for i, res := range results {
+		for _, v := range res {
+			if v != want {
+				t.Fatalf("rank %d allreduce = %v, want %v", i, v, want)
+			}
+		}
+	}
+}
+
+func TestRingAllreduceCorrect(t *testing.T) {
+	for _, ranks := range []int{2, 3, 4, 7, 8} {
+		w := newWorld(t, 2, 4, ranks)
+		c := w.WorldComm()
+		results := make([][]float32, ranks)
+		_, err := w.Run(func(r *mpi.Rank) {
+			buf := gpu.NewDataBuffer(53)
+			buf.Fill(float32(c.Rank(r) + 1))
+			RingAllreduce(c, r, buf, 100, DefaultOptions())
+			results[c.Rank(r)] = append([]float32(nil), buf.Data...)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float32(ranks * (ranks + 1) / 2)
+		for i, res := range results {
+			for j, v := range res {
+				if v != want {
+					t.Fatalf("ranks=%d rank %d elem %d = %v, want %v", ranks, i, j, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIreduceNoProgressUntilWait(t *testing.T) {
+	// The paper's Section 4.2 semantics: Ireduce does all its work in
+	// Wait, so posting it and computing yields no overlap.
+	const ranks = 4
+	w := newWorld(t, 1, 4, ranks)
+	c := w.WorldComm()
+	red := NewReducer(c, Binomial, DefaultOptions())
+	var waitCost sim.Duration
+	_, err := w.Run(func(r *mpi.Rank) {
+		buf := gpu.NewDataBuffer(1 << 20)
+		buf.Fill(1)
+		req := Ireduce(red, r, buf, 10)
+		r.Sleep(50 * sim.Millisecond) // "overlapped" compute
+		before := r.Now()
+		r.Wait(req)
+		if r.ID == 0 {
+			waitCost = r.Now() - before
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if waitCost == 0 {
+		t.Error("Ireduce Wait cost zero; it must carry the whole reduction (CPU-progressed)")
+	}
+}
+
+func TestReducerNames(t *testing.T) {
+	w := newWorld(t, 4, 4, 16)
+	c := w.WorldComm()
+	o := DefaultOptions()
+	cases := map[Algorithm]string{
+		Binomial:        "binomial",
+		Chain:           "chain",
+		ChainChain:      "CC-8",
+		ChainBinomial:   "CB-8",
+		Tuned:           "HR(tuned)",
+		MV2Baseline:     "MV2",
+		OpenMPIBaseline: "OpenMPI",
+	}
+	for alg, want := range cases {
+		if got := NewReducer(c, alg, o).Name(); got != want {
+			t.Errorf("%v reducer name = %q, want %q", alg, got, want)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Algorithm(99).String() != "unknown" {
+		t.Error("unknown algorithm should stringify as unknown")
+	}
+	if Tuned.String() != "HR(tuned)" {
+		t.Errorf("Tuned = %q", Tuned.String())
+	}
+}
+
+func TestTunedSelection(t *testing.T) {
+	w := newWorld(t, 48, 4, 160)
+	c := w.WorldComm()
+	tr := newTuned(c, DefaultOptions())
+	if got := tr.Select(64 << 10).Name(); got != "binomial" {
+		t.Errorf("64KB@160 -> %s, want binomial", got)
+	}
+	if got := tr.Select(64 << 20).Name(); got != "CB-8" {
+		t.Errorf("64MB@160 -> %s, want CB-8", got)
+	}
+	w2 := newWorld(t, 8, 4, 32)
+	tr2 := newTuned(w2.WorldComm(), DefaultOptions())
+	if got := tr2.Select(64 << 20).Name(); got != "CC-8" {
+		t.Errorf("64MB@32 -> %s, want CC-8", got)
+	}
+	w3 := newWorld(t, 2, 4, 8)
+	tr3 := newTuned(w3.WorldComm(), DefaultOptions())
+	if got := tr3.Select(64 << 20).Name(); got != "chain" {
+		t.Errorf("64MB@8 -> %s, want chain", got)
+	}
+}
+
+func TestDefaultChunks(t *testing.T) {
+	if got := defaultChunks(256<<20, 0); got != 64 {
+		t.Errorf("256MB -> %d chunks, want 64 (cap)", got)
+	}
+	if got := defaultChunks(1<<20, 0); got != 4 {
+		t.Errorf("1MB -> %d chunks, want 4 (floor)", got)
+	}
+	if got := defaultChunks(8<<20, 17); got != 17 {
+		t.Errorf("explicit chunks ignored: got %d", got)
+	}
+	if got := defaultChunks(100<<10, 0); got < 1 {
+		t.Errorf("tiny buffer -> %d chunks", got)
+	}
+}
+
+func TestCostModelEq1Eq2(t *testing.T) {
+	p := CostParams{Alpha: 10e-6, Beta: 10e9}
+	// Eq. 1: log2(8)=3 steps.
+	if got, want := BinomialTime(p, 8, 8e6), 3*p.T(8e6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BinomialTime = %v, want %v", got, want)
+	}
+	// Eq. 2: (n+P-2)*t(c).
+	if got, want := ChainTime(p, 8, 4, 8e6), 10*p.T(2e6); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ChainTime = %v, want %v", got, want)
+	}
+	if BinomialTime(p, 1, 1e6) != 0 || ChainTime(p, 1, 4, 1e6) != 0 {
+		t.Error("single-process reductions are free")
+	}
+}
+
+func TestCostModelCrossovers(t *testing.T) {
+	p := CostParams{Alpha: 10e-6, Beta: 10e9}
+	big := 64e6
+	small := 4e3
+	// Large buffer, small P: chain wins (paper's first observation).
+	n := BestChunks(p, 8, big)
+	if ChainTime(p, 8, n, big) >= BinomialTime(p, 8, big) {
+		t.Error("Eq2 should beat Eq1 for large b, small P")
+	}
+	// Small buffer, large P: binomial wins (second observation).
+	if BinomialTime(p, 128, small) >= ChainTime(p, 128, 4, small) {
+		t.Error("Eq1 should beat Eq2 for small b, large P")
+	}
+}
+
+func TestCostModelHierarchicalBeatsBothAtScale(t *testing.T) {
+	// With the paper's practical pipeline depth (n=8, fixed), the
+	// two-level chain-binomial design beats both flat algorithms at
+	// 160 processes / 256 MB.
+	p := CostParams{Alpha: 10e-6, Beta: 10e9}
+	const procs, chunks = 160, 8
+	b := 256e6
+	flatChain := ChainTime(p, procs, chunks, b)
+	flatBin := BinomialTime(p, procs, b)
+	hier := HierarchicalTime(p, procs, 8, chunks, b, false)
+	if hier >= flatChain || hier >= flatBin {
+		t.Errorf("hierarchical (%v) should beat flat chain (%v) and flat binomial (%v) at 160 procs / 256MB",
+			hier, flatChain, flatBin)
+	}
+}
+
+func TestCrossoverProcs(t *testing.T) {
+	p := CostParams{Alpha: 10e-6, Beta: 10e9}
+	x := CrossoverProcs(p, 8, 4e6, 256)
+	if x <= 8 || x > 256 {
+		t.Errorf("crossover P = %d; expected a moderate chain-friendly range", x)
+	}
+	// Larger buffers (smaller latency fraction) keep the chain
+	// competitive to larger P.
+	x2 := CrossoverProcs(p, 8, 256e6, 256)
+	if x2 < x {
+		t.Errorf("crossover should not shrink with buffer size: %d -> %d", x, x2)
+	}
+	// Tiny buffers are latency-bound: the chain never wins.
+	if x0 := CrossoverProcs(p, 8, 64, 256); x0 != 2 {
+		t.Errorf("64-byte crossover = %d, want 2 (chain never wins)", x0)
+	}
+}
+
+func TestBestChunksReasonable(t *testing.T) {
+	p := CostParams{Alpha: 10e-6, Beta: 10e9}
+	n := BestChunks(p, 8, 256e6)
+	if n < 2 {
+		t.Errorf("BestChunks for 256MB = %d; pipelining should help", n)
+	}
+	n1 := BestChunks(p, 8, 1e3)
+	if n1 != 1 {
+		t.Errorf("BestChunks for 1KB = %d, want 1 (latency-bound)", n1)
+	}
+}
+
+func TestReduceDeterministicTiming(t *testing.T) {
+	_, t1 := runReduce(t, ChainBinomial, DefaultOptions(), 16, 1<<18)
+	_, t2 := runReduce(t, ChainBinomial, DefaultOptions(), 16, 1<<18)
+	if t1 != t2 {
+		t.Errorf("identical runs produced different times: %v vs %v", t1, t2)
+	}
+}
+
+func TestPayloadFreeMatchesPayloadTiming(t *testing.T) {
+	// Timing must not depend on whether buffers carry real payloads.
+	const ranks, elems = 8, 1 << 18
+	_, withData := runReduce(t, ChainBinomial, DefaultOptions(), ranks, elems)
+
+	w := newWorld(t, 2, 4, ranks)
+	c := w.WorldComm()
+	red := NewReducer(c, ChainBinomial, DefaultOptions())
+	noData, err := w.Run(func(r *mpi.Rank) {
+		buf := gpu.NewBuffer(int64(elems) * 4)
+		red.Reduce(r, buf, 10)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withData != noData {
+		t.Errorf("payload changed timing: %v vs %v", withData, noData)
+	}
+}
+
+func TestRabenseifnerReduceCorrect(t *testing.T) {
+	for _, ranks := range []int{2, 4, 8, 16} {
+		for _, elems := range []int{7, 16, 61, 256} { // uneven and even splits
+			w := newWorld(t, (ranks+3)/4, 4, ranks)
+			c := w.WorldComm()
+			var got []float32
+			_, err := w.Run(func(r *mpi.Rank) {
+				buf := gpu.NewDataBuffer(elems)
+				buf.Fill(float32(c.Rank(r) + 1))
+				ReduceScatterGather(c, r, buf, 40, DefaultOptions())
+				if c.Rank(r) == 0 {
+					got = append([]float32(nil), buf.Data...)
+				}
+			})
+			if err != nil {
+				t.Fatalf("ranks=%d elems=%d: %v", ranks, elems, err)
+			}
+			want := float32(ranks * (ranks + 1) / 2)
+			for i, v := range got {
+				if v != want {
+					t.Fatalf("ranks=%d elems=%d elem %d = %v, want %v", ranks, elems, i, v, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRabenseifnerNonPowerOfTwoFallsBack(t *testing.T) {
+	const ranks = 6
+	w := newWorld(t, 2, 4, ranks)
+	c := w.WorldComm()
+	var got []float32
+	_, err := w.Run(func(r *mpi.Rank) {
+		buf := gpu.NewDataBuffer(19)
+		buf.Fill(float32(c.Rank(r) + 1))
+		ReduceScatterGather(c, r, buf, 40, DefaultOptions())
+		if c.Rank(r) == 0 {
+			got = append([]float32(nil), buf.Data...)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectSum(t, got, ranks)
+}
+
+func TestRabenseifnerBandwidthAdvantage(t *testing.T) {
+	// 2b(P-1)/P traffic per rank should beat the binomial tree's
+	// b·log2(P) for large buffers.
+	const ranks, elems = 16, 32 << 20 / 4
+	w := newWorld(t, 4, 4, ranks)
+	c := w.WorldComm()
+	rsg, err := w.Run(func(r *mpi.Rank) {
+		buf := gpu.NewBuffer(elems * 4)
+		ReduceScatterGather(c, r, buf, 40, DefaultOptions())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bin := runReduce(t, Binomial, DefaultOptions(), ranks, elems)
+	if rsg >= bin {
+		t.Errorf("32MB/16 ranks: Rabenseifner (%v) should beat binomial (%v)", rsg, bin)
+	}
+}
+
+func TestBcastScatterAllgatherCorrect(t *testing.T) {
+	for _, ranks := range []int{2, 3, 4, 7, 8, 16, 24, 32} {
+		for _, root := range []int{0, ranks - 1} {
+			for _, elems := range []int{5, 64, 257} {
+				w := newWorld(t, (ranks+3)/4, 4, ranks)
+				c := w.WorldComm()
+				ok := true
+				_, err := w.Run(func(r *mpi.Rank) {
+					buf := gpu.NewDataBuffer(elems)
+					if c.Rank(r) == root {
+						for i := range buf.Data {
+							buf.Data[i] = float32(i + 1)
+						}
+					}
+					BcastScatterAllgather(c, r, root, buf, 300, topology.ModeAuto)
+					for i, v := range buf.Data {
+						if v != float32(i+1) {
+							ok = false
+						}
+					}
+				})
+				if err != nil {
+					t.Fatalf("ranks=%d root=%d elems=%d: %v", ranks, root, elems, err)
+				}
+				if !ok {
+					t.Fatalf("ranks=%d root=%d elems=%d: wrong payload delivered", ranks, root, elems)
+				}
+			}
+		}
+	}
+}
+
+func TestBcastScatterAllgatherBeatsBinomialForLarge(t *testing.T) {
+	// van de Geijn's bandwidth argument: ~2b vs b·log2(P) for 32 ranks
+	// at 64 MB.
+	const ranks = 32
+	const bytes = 64 << 20
+	w := newWorld(t, 8, 4, ranks)
+	c := w.WorldComm()
+	vdg, err := w.Run(func(r *mpi.Rank) {
+		buf := gpu.NewBuffer(bytes)
+		BcastScatterAllgather(c, r, 0, buf, 300, topology.ModeAuto)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := newWorld(t, 8, 4, ranks)
+	c2 := w2.WorldComm()
+	bin, err := w2.Run(func(r *mpi.Rank) {
+		buf := gpu.NewBuffer(bytes)
+		r.Bcast(c2, 0, buf, topology.ModeAuto)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vdg >= bin {
+		t.Errorf("64MB/32 ranks: scatter-allgather bcast (%v) should beat binomial (%v)", vdg, bin)
+	}
+}

@@ -1,0 +1,18 @@
+package coll
+
+import (
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+)
+
+// Ireduce returns a non-blocking reduce request with the MPI-runtime
+// semantics the paper measures (Section 4.2): reductions require CPU
+// progression, so the operation makes no progress until Wait — all the
+// communication and arithmetic happen inside the Wait call. A naive
+// multi-stage Ireduce pipeline therefore exhibits no overlap, which is
+// why SC-OBR exists.
+func Ireduce(red Reducer, r *mpi.Rank, buf *gpu.Buffer, tag int) *mpi.Request {
+	return r.NewDeferredRequest(func() {
+		red.Reduce(r, buf, tag)
+	})
+}

@@ -1,0 +1,100 @@
+package coll
+
+import (
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+)
+
+// ReduceScatterGather implements Rabenseifner's reduce algorithm for
+// power-of-two communicators: recursive-halving reduce-scatter
+// followed by a binomial gather to root (group rank 0). It is the
+// classic bandwidth-optimal alternative to both Eq. (1) and Eq. (2)
+// — total traffic 2·b·(P−1)/P per rank versus the binomial tree's
+// b·log2(P) — included for the algorithm-comparison experiments.
+// Non-power-of-two sizes fall back to the chunked chain.
+//
+// Tags tag..tag+1 are reserved.
+func ReduceScatterGather(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o Options) {
+	size := c.Size()
+	if size == 1 {
+		return
+	}
+	if size&(size-1) != 0 {
+		(&chainReducer{c: c, o: o}).Reduce(r, buf, tag)
+		return
+	}
+	me := c.Rank(r)
+	elems := buf.Elems()
+
+	// Recursive halving: at step k (distance d = size>>k+...), each
+	// pair exchanges the half of the current segment the peer is
+	// responsible for and reduces the half it keeps.
+	lo, hi := 0, elems
+	for dist := size / 2; dist >= 1; dist /= 2 {
+		peer := me ^ dist
+		mid := lo + (hi-lo)/2
+		mineFirst := me&dist == 0 // keep the first half if our bit is 0
+		var keepLo, keepHi, sendLo, sendHi int
+		if mineFirst {
+			keepLo, keepHi, sendLo, sendHi = lo, mid, mid, hi
+		} else {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		scratch := newLike(buf.Slice(keepLo, keepHi))
+		sreq := r.Isend(c, peer, tag, buf.Slice(sendLo, sendHi), o.Mode)
+		r.Recv(c, peer, tag, scratch)
+		keep := buf.Slice(keepLo, keepHi)
+		localReduce(r, keep, scratch, o)
+		r.Wait(sreq)
+		lo, hi = keepLo, keepHi
+	}
+
+	// Binomial gather of the scattered segments to root. Segment
+	// ownership after halving is contiguous by rank; segStart replays
+	// the split sequence so both sides of every transfer agree on the
+	// exact (possibly uneven) extents. At gather round `mask`, a rank
+	// with (me & mask) != 0 sends everything it has collected —
+	// segments [me, me+mask) — to me-mask.
+	segStart := func(p int) int {
+		if p >= size {
+			return elems
+		}
+		slo, shi := 0, elems
+		for dist := size / 2; dist >= 1; dist /= 2 {
+			mid := slo + (shi-slo)/2
+			if p&dist == 0 {
+				shi = mid
+			} else {
+				slo = mid
+			}
+		}
+		return slo
+	}
+	for mask := 1; mask < size; mask <<= 1 {
+		if me&mask != 0 {
+			r.Send(c, me-mask, tag+1, buf.Slice(segStart(me), segStart(me+mask)), o.Mode)
+			return
+		}
+		peer := me + mask
+		if peer >= size {
+			continue
+		}
+		peerLo, peerHi := segStart(peer), segStart(peer+mask)
+		if peerLo >= peerHi {
+			continue
+		}
+		r.Recv(c, peer, tag+1, buf.Slice(peerLo, peerHi))
+	}
+}
+
+// rsgReducer adapts ReduceScatterGather to the Reducer interface.
+type rsgReducer struct {
+	c *mpi.Comm
+	o Options
+}
+
+func (x *rsgReducer) Name() string { return "RSG" }
+
+func (x *rsgReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
+	ReduceScatterGather(x.c, r, buf, tag, x.o)
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"testing"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/models"
+	"scaffe/internal/sim"
+	"scaffe/internal/trace"
+)
+
+// Second-round behaviour tests: system-level properties of the engine
+// that the paper's arguments depend on.
+
+func TestPSServerSerializesWorkers(t *testing.T) {
+	// Section 3.1's scalability argument: the parameter server's
+	// aggregation time grows roughly linearly with worker count
+	// because every gradient funnels through one GPU.
+	aggTime := func(workers int) sim.Duration {
+		spec := models.AlexNet()
+		cfg := timingConfig(spec, workers+1, workers*8, 2)
+		cfg.Design = ParamServer
+		cfg.Nodes, cfg.GPUsPerNode = 16, 1
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Phases.Aggregation // server is rank 0
+	}
+	a4 := aggTime(4)
+	a12 := aggTime(12)
+	ratio := float64(a12) / float64(a4)
+	if ratio < 2.2 {
+		t.Errorf("PS aggregation grew only %.2fx from 4 to 12 workers; expected near-linear (~3x)", ratio)
+	}
+}
+
+func TestCaffeMTTracksSCBIntraNode(t *testing.T) {
+	// Within a node, multi-threaded Caffe and the MPI port perform the
+	// same tree communication over IPC: their times should be close
+	// (the paper observes S-Caffe matches Caffe up to 16 GPUs).
+	spec, _ := models.ByName("cifar10-quick")
+	mk := func(d Design) Config {
+		cfg := timingConfig(spec, 8, 512, 3)
+		cfg.Design = d
+		cfg.Reduce = coll.Binomial
+		cfg.Nodes, cfg.GPUsPerNode = 1, 16
+		return cfg
+	}
+	caffe, err := Run(mk(CaffeMT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scb, err := Run(mk(SCB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(scb.TotalTime) / float64(caffe.TotalTime)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("intra-node SC-B/Caffe ratio = %.2f; expected parity within 10%%", ratio)
+	}
+}
+
+func TestWeakScalingNearConstantIterTime(t *testing.T) {
+	spec := models.GoogLeNet()
+	perIter := func(gpus int) sim.Duration {
+		cfg := timingConfig(spec, gpus, 16, 3)
+		cfg.Weak = true
+		cfg.Design = SCOBR
+		cfg.Nodes, cfg.GPUsPerNode = 4, 16
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TimePerIter()
+	}
+	t16 := perIter(16)
+	t64 := perIter(64)
+	if float64(t64) > 1.5*float64(t16) {
+		t.Errorf("weak scaling iteration time grew %v -> %v; should stay near-constant", t16, t64)
+	}
+}
+
+func TestTraceRecordsAllPhases(t *testing.T) {
+	spec, _ := models.ByName("cifar10-quick")
+	cfg := timingConfig(spec, 4, 32, 2)
+	cfg.Design = SCOBR
+	cfg.Source = LMDBSource
+	rec := trace.New()
+	cfg.Trace = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	totals := rec.PhaseTotals()
+	for _, phase := range []string{"forward", "aggregation", "update"} {
+		if len(totals[phase]) == 0 {
+			t.Errorf("trace missing phase %q", phase)
+		}
+	}
+	// Update happens only at the root.
+	upd := totals["update"]
+	if upd[0] == 0 {
+		t.Error("root recorded no update time")
+	}
+	for rank := 1; rank < len(upd); rank++ {
+		if upd[rank] != 0 {
+			t.Errorf("non-root rank %d recorded update time %v", rank, upd[rank])
+		}
+	}
+}
+
+func TestTraceDoesNotPerturbTiming(t *testing.T) {
+	spec, _ := models.ByName("cifar10-quick")
+	cfg := timingConfig(spec, 8, 64, 3)
+	cfg.Design = SCOBR
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = trace.New()
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalTime != traced.TotalTime {
+		t.Errorf("tracing changed virtual time: %v vs %v", plain.TotalTime, traced.TotalTime)
+	}
+}
+
+func TestReduceAlgorithmAffectsTrainingTime(t *testing.T) {
+	// End-to-end sanity for Table 2's mechanism: swapping only the
+	// reduce algorithm changes iteration time in the expected
+	// direction.
+	spec := models.CaffeNet()
+	mk := func(alg coll.Algorithm) Config {
+		cfg := timingConfig(spec, 32, 32*64, 2)
+		cfg.Nodes, cfg.GPUsPerNode = 2, 16
+		cfg.Reduce = alg
+		return cfg
+	}
+	hr, err := Run(mk(coll.Tuned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ompi, err := Run(mk(coll.OpenMPIBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(ompi.TotalTime) < 2*float64(hr.TotalTime) {
+		t.Errorf("OpenMPI-reduce training (%v) should be far slower than HR (%v)", ompi.TotalTime, hr.TotalTime)
+	}
+}
+
+func TestImageDataBeatsLMDBOnlyBeyondSlotLimit(t *testing.T) {
+	// Below 64 readers the two backends should be close; the cliff is
+	// specifically a >64-reader phenomenon (Figure 8's curves overlap
+	// until then).
+	spec := models.GoogLeNet()
+	run := func(gpus int, src SourceKind) sim.Duration {
+		cfg := timingConfig(spec, gpus, 8*gpus, 3)
+		cfg.Nodes, cfg.GPUsPerNode = 12, 16
+		cfg.Design = SCOBR
+		cfg.Source = src
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	lmdb64 := run(64, LMDBSource)
+	pfs64 := run(64, ImageDataSource)
+	if ratio := float64(lmdb64) / float64(pfs64); ratio > 1.1 {
+		t.Errorf("at 64 readers LMDB (%v) should track PFS (%v), ratio %.2f", lmdb64, pfs64, ratio)
+	}
+	lmdb160 := run(160, LMDBSource)
+	pfs160 := run(160, ImageDataSource)
+	if ratio := float64(lmdb160) / float64(pfs160); ratio < 1.5 {
+		t.Errorf("at 160 readers LMDB (%v) should collapse vs PFS (%v), ratio %.2f", lmdb160, pfs160, ratio)
+	}
+}
+
+func TestRingAllreduceTrainingDesignEquivalence(t *testing.T) {
+	// CNTK-like uses the ring allreduce; its timing must scale with
+	// message size but its updates already proved equivalent — here we
+	// check the aggregation phase reacts to the model size.
+	small, _ := models.ByName("cifar10-quick")
+	big := models.AlexNet()
+	agg := func(spec *models.Spec) sim.Duration {
+		cfg := timingConfig(spec, 8, 64, 2)
+		cfg.Design = CNTKLike
+		cfg.Nodes, cfg.GPUsPerNode = 4, 2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Phases.Aggregation
+	}
+	if agg(big) < 10*agg(small) {
+		t.Errorf("AlexNet's 244MB allreduce (%v) should dwarf CIFAR's 582KB (%v)", agg(big), agg(small))
+	}
+}
+
+func TestModelParallelRuns(t *testing.T) {
+	spec := models.AlexNet()
+	cfg := timingConfig(spec, 4, 128, 3)
+	cfg.Design = ModelParallel
+	cfg.Nodes, cfg.GPUsPerNode = 1, 16
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design != "ModelParallel" || res.SamplesPerSec <= 0 {
+		t.Errorf("MP result = %+v", res)
+	}
+	if res.LocalBatch != 128 {
+		t.Errorf("MP local batch = %d; every stage sees the full batch", res.LocalBatch)
+	}
+}
+
+func TestModelParallelRejectsRealMode(t *testing.T) {
+	cfg := tinyRealConfig(4, 16, 2)
+	cfg.Design = ModelParallel
+	if _, err := Run(cfg); err == nil {
+		t.Error("MP + RealNet should error")
+	}
+}
+
+func TestDataParallelBeatsModelParallel(t *testing.T) {
+	// Section 3.1: for these convolutional networks the pipeline's
+	// sequential dependency makes model parallelism the slower way to
+	// use 8 GPUs.
+	spec := models.AlexNet()
+	mk := func(d Design) Config {
+		cfg := timingConfig(spec, 8, 256, 3)
+		cfg.Design = d
+		cfg.Nodes, cfg.GPUsPerNode = 1, 16
+		if d == SCOBR {
+			cfg.Reduce = coll.Tuned
+		}
+		return cfg
+	}
+	dp, err := Run(mk(SCOBR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := Run(mk(ModelParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.SamplesPerSec <= mp.SamplesPerSec {
+		t.Errorf("data parallel (%.0f SPS) should beat model parallel (%.0f SPS) for AlexNet",
+			dp.SamplesPerSec, mp.SamplesPerSec)
+	}
+}
+
+func TestMPPartitionBalancedAndComplete(t *testing.T) {
+	spec := models.GoogLeNet()
+	cfg := timingConfig(spec, 8, 8, 1)
+	parts := mpPartition(&cfg, 8)
+	if len(parts) != 8 {
+		t.Fatalf("got %d stages, want 8", len(parts))
+	}
+	if parts[0][0] != 0 || parts[len(parts)-1][1] != len(spec.Layers)-1 {
+		t.Fatal("partition does not cover the layer range")
+	}
+	var flops []float64
+	for i, p := range parts {
+		if p[0] > p[1] {
+			t.Fatalf("stage %d empty: %v", i, p)
+		}
+		if i > 0 && p[0] != parts[i-1][1]+1 {
+			t.Fatalf("stage %d not contiguous: %v after %v", i, p, parts[i-1])
+		}
+		var f float64
+		for l := p[0]; l <= p[1]; l++ {
+			f += spec.Layers[l].FwdFLOPs + spec.Layers[l].BwdFLOPs
+		}
+		flops = append(flops, f)
+	}
+	// Rough balance: no stage more than 4x the mean.
+	var total float64
+	for _, f := range flops {
+		total += f
+	}
+	mean := total / float64(len(flops))
+	for i, f := range flops {
+		if f > 4*mean {
+			t.Errorf("stage %d holds %.1fx the mean FLOPs", i, f/mean)
+		}
+	}
+}
+
+func TestMPMoreRanksThanLayers(t *testing.T) {
+	spec, _ := models.ByName("tiny") // 7 layers
+	cfg := timingConfig(spec, 12, 24, 2)
+	cfg.Design = ModelParallel
+	cfg.Nodes, cfg.GPUsPerNode = 1, 16
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("surplus ranks should idle gracefully: %v", err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package core implements the S-Caffe training engine and its
+// co-designed iteration pipelines: SC-B (blocking CUDA-aware
+// broadcast/reduce), SC-OB (multi-stage non-blocking data propagation
+// overlapped with the forward pass), and SC-OBR (helper-thread
+// gradient aggregation overlapped with the backward pass, combined
+// with the hierarchical reduce). It also implements the comparison
+// systems of the evaluation: single-node multi-threaded Caffe, a
+// CNTK-like host-staged MPI framework, and an Inspur-style
+// parameter server.
+package core
+
+import (
+	"fmt"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/data"
+	"scaffe/internal/layers"
+	"scaffe/internal/models"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+	"scaffe/internal/trace"
+)
+
+// Design selects the training pipeline.
+type Design int
+
+const (
+	// SCB is S-Caffe Basic: blocking CUDA-aware Bcast + Reduce on the
+	// packed buffers (Section 4.1).
+	SCB Design = iota
+	// SCOB adds multi-stage non-blocking data propagation: all
+	// per-layer Ibcasts posted up front, each Wait placed just before
+	// the consuming layer's forward pass (Section 4.2).
+	SCOB
+	// SCOBR adds helper-thread gradient aggregation overlapped with
+	// the backward pass (Section 4.3); pair it with coll.Tuned for the
+	// full co-design.
+	SCOBR
+	// CaffeMT is the single-node multi-threaded Caffe baseline
+	// (reduction tree over CUDA IPC, single shared data reader,
+	// intra-node only).
+	CaffeMT
+	// CNTKLike is an MPI framework without CUDA-awareness or overlap:
+	// gradients staged to the host and allreduced there with CPU
+	// arithmetic (Microsoft CNTK's 32-bit SGD style).
+	CNTKLike
+	// ParamServer is the Inspur-Caffe-style design: one GPU rank
+	// serves parameters and aggregates every worker's gradients
+	// sequentially.
+	ParamServer
+	// ModelParallel is the MPI-Caffe-style design of Table 1: the
+	// network's layers are partitioned across ranks and activations
+	// flow rank-to-rank, so there is no gradient aggregation at all —
+	// but the pipeline's sequential dependency limits utilization
+	// (Section 3.1's argument for the data-parallel approach).
+	ModelParallel
+)
+
+func (d Design) String() string {
+	switch d {
+	case SCB:
+		return "SC-B"
+	case SCOB:
+		return "SC-OB"
+	case SCOBR:
+		return "SC-OBR"
+	case CaffeMT:
+		return "Caffe"
+	case CNTKLike:
+		return "CNTK-like"
+	case ParamServer:
+		return "ParamServer"
+	case ModelParallel:
+		return "ModelParallel"
+	}
+	return "unknown"
+}
+
+// SourceKind selects the storage backend for training data.
+type SourceKind int
+
+const (
+	// MemorySource serves batches at zero I/O cost.
+	MemorySource SourceKind = iota
+	// LMDBSource reads through the shared-environment LMDB model
+	// (scalability cliff past 64 readers) — the "S-Caffe-L" series.
+	LMDBSource
+	// ImageDataSource reads image files from the parallel filesystem
+	// model — the "S-Caffe" series that scales to 160 GPUs.
+	ImageDataSource
+)
+
+func (s SourceKind) String() string {
+	switch s {
+	case MemorySource:
+		return "memory"
+	case LMDBSource:
+		return "lmdb"
+	case ImageDataSource:
+		return "imagedata"
+	}
+	return "unknown"
+}
+
+// Config describes one training run.
+type Config struct {
+	// Spec is the model's cost geometry (required).
+	Spec *models.Spec
+	// RealNet optionally builds a real-compute network per rank; when
+	// set, forward/backward/update perform actual float32 math and
+	// Result carries losses and final parameters.
+	RealNet func(batch int, seed int64) *layers.Net
+	// Dataset supplies real samples (required when RealNet is set).
+	Dataset data.Dataset
+
+	// Nodes and GPUsPerNode shape the cluster. Zero values default to
+	// ceil(GPUs/16) nodes of 16 GPUs (Cluster-A geometry).
+	Nodes, GPUsPerNode int
+	// Params overrides hardware constants (nil = defaults).
+	Params *topology.Params
+	// GPUs is the number of solvers (MPI ranks).
+	GPUs int
+
+	// GlobalBatch is the effective batch size. Under strong scaling
+	// (Weak=false, the paper's presented mode) it is divided across
+	// GPUs; under weak scaling each GPU gets the full value.
+	GlobalBatch int
+	// Weak selects weak scaling (the paper's `-scal weak`).
+	Weak bool
+	// Iterations is the number of training iterations.
+	Iterations int
+
+	// Design selects the pipeline; Reduce/ReduceOpts pick the gradient
+	// aggregation algorithm for the S-Caffe designs.
+	Design     Design
+	Reduce     coll.Algorithm
+	ReduceOpts coll.Options
+	// Source picks the data backend.
+	Source SourceKind
+	// BucketBytes, when positive, coalesces consecutive layers'
+	// gradients into buckets of at least this size before the
+	// multi-stage reduction (SC-OBR only) — the gradient-fusion
+	// optimization later frameworks (PyTorch DDP) standardized.
+	// Zero reduces strictly per layer, as the paper does.
+	BucketBytes int64
+
+	// BaseLR, Momentum, WeightDecay are the solver hyper-parameters
+	// (real-compute mode). Zero BaseLR defaults to 0.01.
+	BaseLR, Momentum, WeightDecay float64
+	// LRPolicy selects the learning-rate schedule: "fixed" (default),
+	// "step", "inv", or "poly", with Gamma/Power/StepSize as in Caffe.
+	LRPolicy string
+	// Gamma, Power, StepSize parameterize the LR policy.
+	Gamma, Power float64
+	StepSize     int
+
+	// TestInterval, when positive, runs a held-out evaluation pass on
+	// the root solver every TestInterval iterations (real mode; the
+	// paper obtains accuracy "during the Testing phase").
+	TestInterval int
+	// TestBatches is the number of root-batch-sized test passes per
+	// evaluation (default 2).
+	TestBatches int
+	// SnapshotEvery, when positive, writes a parameter snapshot every
+	// N iterations (real mode).
+	SnapshotEvery int
+	// SnapshotPrefix is the snapshot filename prefix (Caffe
+	// convention: prefix_iter_N).
+	SnapshotPrefix string
+	// ResumeFrom restores the root solver's parameters from a
+	// snapshot file before training (real mode).
+	ResumeFrom string
+
+	// Trace, when non-nil, records every phase span of every rank for
+	// timeline export (see internal/trace).
+	Trace *trace.Recorder
+
+	// Seed makes parameter init and data order deterministic.
+	Seed int64
+	// QueueDepth is the per-reader prefetch depth (default 2).
+	QueueDepth int
+	// DeviceMemory overrides per-GPU memory in bytes (default 12 GB).
+	DeviceMemory int64
+}
+
+func (c *Config) validate() error {
+	if c.Spec == nil {
+		return fmt.Errorf("core: config needs a model Spec")
+	}
+	if c.GPUs < 1 {
+		return fmt.Errorf("core: need at least 1 GPU, got %d", c.GPUs)
+	}
+	if c.GlobalBatch < 1 {
+		return fmt.Errorf("core: need a positive batch size, got %d", c.GlobalBatch)
+	}
+	if c.Iterations < 1 {
+		return fmt.Errorf("core: need at least 1 iteration, got %d", c.Iterations)
+	}
+	if c.RealNet != nil && c.Dataset == nil {
+		return fmt.Errorf("core: real-compute mode needs a Dataset")
+	}
+	if c.RealNet == nil && (c.TestInterval > 0 || c.SnapshotEvery > 0 || c.ResumeFrom != "") {
+		return fmt.Errorf("core: test/snapshot/resume options need real-compute mode (RealNet)")
+	}
+	workers := c.GPUs
+	if c.Design == ParamServer {
+		workers--
+	}
+	if !c.Weak && workers > 0 && c.GlobalBatch%workers != 0 {
+		return fmt.Errorf("core: strong scaling needs batch %d divisible by %d workers", c.GlobalBatch, workers)
+	}
+	switch c.Design {
+	case SCB, SCOB, SCOBR, CaffeMT, CNTKLike, ParamServer, ModelParallel:
+	default:
+		return fmt.Errorf("core: unknown design %d", int(c.Design))
+	}
+	if c.Design == ModelParallel && c.RealNet != nil {
+		return fmt.Errorf("core: model-parallel design is timing-only (no real-compute support)")
+	}
+	if c.Design == ParamServer {
+		if c.GPUs < 2 {
+			return fmt.Errorf("core: parameter server needs at least 2 GPUs (1 server + workers)")
+		}
+		if c.GPUs > 16 {
+			return fmt.Errorf("core: parameter-server design unsupported beyond 16 GPUs (execution hangs)")
+		}
+		if c.RealNet != nil {
+			return fmt.Errorf("core: parameter-server design is timing-only (no real-compute support)")
+		}
+	}
+	return nil
+}
+
+// localBatch returns the per-GPU batch for worker count n.
+func (c *Config) localBatch(workers int) int {
+	if c.Weak {
+		return c.GlobalBatch
+	}
+	b := c.GlobalBatch / workers
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Phases is the per-phase time breakdown measured at the root solver:
+// the time the root's main thread spends blocked in each phase, summed
+// over iterations. Overlap shows up as a phase shrinking while total
+// stays dominated by compute.
+type Phases struct {
+	DataWait    sim.Duration
+	Propagation sim.Duration
+	Forward     sim.Duration
+	Backward    sim.Duration
+	Aggregation sim.Duration
+	Update      sim.Duration
+}
+
+// Total sums the accounted phases.
+func (p Phases) Total() sim.Duration {
+	return p.DataWait + p.Propagation + p.Forward + p.Backward + p.Aggregation + p.Update
+}
+
+// Result reports one run's outcome.
+type Result struct {
+	Design      string
+	Model       string
+	GPUs        int
+	GlobalBatch int
+	LocalBatch  int
+	Iterations  int
+	Source      string
+	ReduceAlg   string
+
+	// TotalTime is the virtual wall-clock of the whole run.
+	TotalTime sim.Time
+	// Phases is the root solver's blocked-time breakdown.
+	Phases Phases
+	// SamplesPerSec is throughput in trained samples per virtual
+	// second.
+	SamplesPerSec float64
+
+	// Losses holds the per-iteration training loss (real mode only).
+	Losses []float32
+	// Accuracies holds the held-out accuracy of each test pass (real
+	// mode with TestInterval set).
+	Accuracies []float64
+	// SnapshotFiles lists snapshots written during the run.
+	SnapshotFiles []string
+	// FinalParams is the root solver's packed parameter vector after
+	// the last update (real mode only).
+	FinalParams []float32
+
+	// HCAUtilization is the mean busy fraction of the InfiniBand
+	// adapters over the run (both directions), a view into how
+	// communication-bound the configuration is.
+	HCAUtilization float64
+	// PCIeUtilization is the same for the GPUs' PCIe links.
+	PCIeUtilization float64
+}
+
+// TimePerIter returns the mean iteration time.
+func (r *Result) TimePerIter() sim.Duration {
+	return sim.Duration(int64(r.TotalTime) / int64(r.Iterations))
+}

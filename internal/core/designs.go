@@ -1,0 +1,264 @@
+package core
+
+import (
+	"scaffe/internal/coll"
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// runSCB is the S-Caffe Basic pipeline (Section 4.1): blocking
+// CUDA-aware broadcast of the packed parameters, sequential
+// forward/backward, blocking reduce of the packed gradients. CaffeMT
+// shares this loop (its transfers resolve to intra-node IPC and its
+// data plane is the single shared reader).
+func (st *runState) runSCB(r *mpi.Rank) {
+	w := st.wl[r.ID]
+	ph := &st.phases[r.ID]
+	root := r.ID == 0
+	for it := 0; it < st.cfg.Iterations; it++ {
+		st.dataWait(r, w, ph, it)
+		st.timed(r, &ph.Propagation, "propagation", func() {
+			if root {
+				w.packParams()
+			}
+			r.Bcast(st.comm, 0, w.packedParams, topology.ModeAuto)
+			if !root {
+				w.unpackParams()
+			}
+		})
+		st.forwardPass(r, w, ph)
+		st.backwardPass(r, w, ph)
+		st.timed(r, &ph.Aggregation, "aggregation", func() {
+			st.red.Reduce(r, w.packedGrads, tagPackedReduce)
+		})
+		if root {
+			st.applyUpdate(r, w, ph, it, st.workerCount())
+		}
+	}
+}
+
+// postPropagation posts every parameter layer's Ibcast up front
+// (Figure 5's multi-stage on-demand design) and returns the per-layer
+// requests.
+func (st *runState) postPropagation(r *mpi.Rank, w *workload) []*mpi.Request {
+	if r.ID == 0 {
+		w.packParams()
+	}
+	reqs := make([]*mpi.Request, len(st.cfg.Spec.Layers))
+	for l, buf := range w.layerParam {
+		if buf != nil {
+			reqs[l] = r.Ibcast(st.comm, 0, buf, topology.ModeAuto)
+		}
+	}
+	return reqs
+}
+
+// overlappedForward runs the forward pass, placing each layer's
+// MPI_Wait immediately before the layer that consumes the data — too
+// early wastes overlap, too late stalls compute (Section 4.2).
+func (st *runState) overlappedForward(r *mpi.Rank, w *workload, ph *Phases, reqs []*mpi.Request) {
+	root := r.ID == 0
+	w.beginForward()
+	for l := range st.cfg.Spec.Layers {
+		if reqs[l] != nil && !root {
+			st.timed(r, &ph.Propagation, "propagation", func() {
+				r.Wait(reqs[l])
+				w.unpackLayerParams(l)
+			})
+		}
+		st.forwardLayer(r, w, ph, l)
+	}
+}
+
+// drainRootSends completes the root's outstanding broadcast sends; the
+// root must not modify parameters (ApplyUpdate) while the network may
+// still be reading them.
+func (st *runState) drainRootSends(r *mpi.Rank, ph *Phases, reqs []*mpi.Request) {
+	st.timed(r, &ph.Propagation, "propagation", func() {
+		for _, req := range reqs {
+			if req != nil {
+				r.Wait(req)
+			}
+		}
+	})
+}
+
+// runSCOB is SC-B plus the overlapped multi-stage data propagation.
+func (st *runState) runSCOB(r *mpi.Rank) {
+	w := st.wl[r.ID]
+	ph := &st.phases[r.ID]
+	root := r.ID == 0
+	for it := 0; it < st.cfg.Iterations; it++ {
+		st.dataWait(r, w, ph, it)
+		reqs := st.postPropagation(r, w)
+		st.overlappedForward(r, w, ph, reqs)
+		st.backwardPass(r, w, ph)
+		st.timed(r, &ph.Aggregation, "aggregation", func() {
+			st.red.Reduce(r, w.packedGrads, tagPackedReduce)
+		})
+		if root {
+			st.drainRootSends(r, ph, reqs)
+			st.applyUpdate(r, w, ph, it, st.workerCount())
+		}
+	}
+}
+
+// runSCOBR is the full co-design: overlapped propagation plus
+// helper-thread gradient aggregation (Section 4.3). A helper thread
+// drives the backward kernels and signals per-layer completion through
+// a condition flag; the main thread issues that layer's reduction as
+// soon as its gradient is ready, so layer n's reduce overlaps layer
+// n−1's backward compute.
+func (st *runState) runSCOBR(r *mpi.Rank) {
+	w := st.wl[r.ID]
+	ph := &st.phases[r.ID]
+	root := r.ID == 0
+	k := r.W.K
+	nLayers := len(st.cfg.Spec.Layers)
+
+	for it := 0; it < st.cfg.Iterations; it++ {
+		st.dataWait(r, w, ph, it)
+		reqs := st.postPropagation(r, w)
+		st.overlappedForward(r, w, ph, reqs)
+
+		// Backward with helper-thread control-flow split.
+		w.beginBackward()
+		flags := make([]*sim.Flag, nLayers)
+		for l := range flags {
+			flags[l] = k.NewFlag()
+		}
+		done := k.NewFlag()
+		r.SpawnThread("helper", func(hp *sim.Proc) {
+			for l := nLayers - 1; l >= 0; l-- {
+				flops := st.cfg.Spec.Layers[l].BwdFLOPs * float64(w.localBatch)
+				_, end := r.Dev.LaunchCompute(hp.Now(), flops)
+				w.backwardLayer(l)
+				hp.WaitUntil(end)
+				flags[l].Set()
+			}
+			done.Set()
+		})
+		if len(w.buckets) > 0 {
+			// Fused (bucketed) aggregation: a bucket's gradients are
+			// complete once its lowest layer's backward finishes.
+			for bi, b := range w.buckets {
+				bucket := b
+				st.timed(r, &ph.Backward, "backward", func() { flags[bucket.lo].WaitSet(r.Proc) })
+				st.timed(r, &ph.Aggregation, "aggregation", func() {
+					st.red.Reduce(r, bucket.buf, tagLayerReduce+4*bi)
+				})
+			}
+		} else {
+			for l := nLayers - 1; l >= 0; l-- {
+				if w.layerGrad[l] == nil {
+					continue
+				}
+				layer := l
+				st.timed(r, &ph.Backward, "backward", func() { flags[layer].WaitSet(r.Proc) })
+				st.timed(r, &ph.Aggregation, "aggregation", func() {
+					st.red.Reduce(r, w.layerGrad[layer], tagLayerReduce+4*layer)
+				})
+			}
+		}
+		st.timed(r, &ph.Backward, "backward", func() { done.WaitSet(r.Proc) })
+
+		if root {
+			st.drainRootSends(r, ph, reqs)
+			st.applyUpdate(r, w, ph, it, st.workerCount())
+		}
+	}
+}
+
+// runCNTK models an MPI DL framework without CUDA-awareness or
+// overlap, but with a competent host-side collective (CNTK's 32-bit
+// SGD used MPI allreduce with its own multi-threaded reduction):
+// gradients are staged to the host, ring-allreduced there, staged
+// back, and every rank applies the update locally. No overlap with
+// compute, no GPU kernels in the reduction, no GDR — the design axes
+// of Table 1.
+func (st *runState) runCNTK(r *mpi.Rank) {
+	w := st.wl[r.ID]
+	ph := &st.phases[r.ID]
+	cl := st.cluster
+	hostOpts := coll.Options{OnGPU: false, HostReduceBW: 20e9, Mode: topology.ModeHost}
+	gradBytes := w.packedGrads.Bytes
+	host := topology.HostOf(r.Dev.ID.Node)
+
+	for it := 0; it < st.cfg.Iterations; it++ {
+		st.dataWait(r, w, ph, it)
+		st.forwardPass(r, w, ph)
+		st.backwardPass(r, w, ph)
+		st.timed(r, &ph.Aggregation, "aggregation", func() {
+			_, end := cl.Transfer(r.Now(), r.Dev.ID, host, gradBytes, topology.ModeAuto)
+			r.Proc.WaitUntil(end)
+			if st.comm.Size() > 1 {
+				coll.RingAllreduce(st.comm, r, w.packedGrads, tagPackedReduce, hostOpts)
+			}
+			_, end = cl.Transfer(r.Now(), host, r.Dev.ID, gradBytes, topology.ModeAuto)
+			r.Proc.WaitUntil(end)
+		})
+		// Every replica updates locally with the averaged gradient.
+		st.localUpdate(r, w, ph, it)
+	}
+}
+
+// runPS models the Inspur-style parameter server: rank 0 serves
+// parameters and aggregates gradients sequentially; ranks 1..N−1
+// train. The single server's links and reduce kernels serialize all
+// workers — the scalability argument of Section 3.1.
+func (st *runState) runPS(r *mpi.Rank) {
+	w := st.wl[r.ID]
+	ph := &st.phases[r.ID]
+	workers := st.cfg.GPUs - 1
+	if r.ID == 0 {
+		scratch := gpu.NewBuffer(w.packedGrads.Bytes)
+		for it := 0; it < st.cfg.Iterations; it++ {
+			st.timed(r, &ph.Propagation, "propagation", func() {
+				for wk := 1; wk <= workers; wk++ {
+					r.Send(st.comm, wk, tagPS, w.packedParams, topology.ModeAuto)
+				}
+			})
+			st.timed(r, &ph.Aggregation, "aggregation", func() {
+				for wk := 1; wk <= workers; wk++ {
+					r.Recv(st.comm, wk, tagPS+1, scratch)
+					_, end := r.Dev.LaunchReduce(r.Now(), scratch.Bytes)
+					r.Proc.WaitUntil(end)
+				}
+			})
+			st.applyUpdate(r, w, ph, it, workers)
+		}
+		return
+	}
+	for it := 0; it < st.cfg.Iterations; it++ {
+		st.dataWait(r, w, ph, it)
+		st.timed(r, &ph.Propagation, "propagation", func() {
+			r.Recv(st.comm, 0, tagPS, w.packedParams)
+		})
+		st.forwardPass(r, w, ph)
+		st.backwardPass(r, w, ph)
+		st.timed(r, &ph.Aggregation, "aggregation", func() {
+			r.Send(st.comm, 0, tagPS+1, w.packedGrads, topology.ModeAuto)
+		})
+	}
+}
+
+// localUpdate applies the update on this rank (designs whose replicas
+// all hold the averaged gradient).
+func (st *runState) localUpdate(r *mpi.Rank, w *workload, ph *Phases, it int) {
+	st.timed(r, &ph.Update, "update", func() {
+		_, end := r.Dev.LaunchCompute(r.Now(), updateFLOPs(st.cfg.Spec.TotalParams()))
+		if w.real() {
+			w.unpackGrads()
+			st.sgds[r.ID].Step(w.net, it, 1/float32(st.workerCount()))
+		}
+		r.Proc.WaitUntil(end)
+	})
+	if r.ID == 0 {
+		if w.real() {
+			st.losses = append(st.losses, w.loss())
+		}
+		st.maybeEvaluate(r, w, it)
+	}
+}

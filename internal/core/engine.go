@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/data"
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+	"scaffe/internal/pfs"
+	"scaffe/internal/sim"
+	"scaffe/internal/solver"
+	"scaffe/internal/topology"
+)
+
+// Tag bases for the engine's communication (user collectives inside
+// reducers consume tag..tag+1 each).
+const (
+	tagPackedReduce = 100
+	tagLayerReduce  = 1000 // + 2*layer
+	tagPS           = 50
+)
+
+// runState is the shared state of one Run: everything the per-rank
+// procs touch lives here (the simulator is cooperatively scheduled, so
+// no locking is needed).
+type runState struct {
+	cfg     *Config
+	cluster *topology.Cluster
+	world   *mpi.World
+	comm    *mpi.Comm
+	red     coll.Reducer
+	readers []*data.Reader
+	wl      []*workload
+	phases  []Phases
+	losses  []float32
+	sgds    []*solver.SGD
+
+	accuracies []float64
+	snapshots  []string
+	fileErr    error
+}
+
+// updateFLOPs is the arithmetic cost of one SGD update over n
+// parameters.
+func updateFLOPs(n int) float64 { return solver.UpdateFLOPs(n) }
+
+// Run executes one training configuration and reports its results.
+func Run(cfg Config) (*Result, error) {
+	res, _, err := run(cfg)
+	return res, err
+}
+
+func run(cfg Config) (*Result, *runState, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 2
+	}
+	nodes, perNode := cfg.Nodes, cfg.GPUsPerNode
+	if perNode == 0 {
+		perNode = 16
+	}
+	if nodes == 0 {
+		nodes = (cfg.GPUs + perNode - 1) / perNode
+	}
+	if nodes*perNode < cfg.GPUs {
+		return nil, nil, fmt.Errorf("core: cluster %dx%d too small for %d GPUs", nodes, perNode, cfg.GPUs)
+	}
+	if cfg.Design == CaffeMT && cfg.GPUs > perNode {
+		return nil, nil, fmt.Errorf("core: Caffe is single-node multi-threaded; %d GPUs exceed the node's %d", cfg.GPUs, perNode)
+	}
+
+	k := sim.New()
+	params := topology.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	cluster := topology.New(k, "run", nodes, perNode, params)
+
+	workers := cfg.GPUs
+	switch cfg.Design {
+	case ParamServer:
+		workers = cfg.GPUs - 1
+	case ModelParallel:
+		// Model parallelism pipelines the whole batch through every
+		// stage: one logical worker.
+		workers = 1
+	}
+	localBatch := cfg.localBatch(workers)
+
+	// Device-memory check: parameters + gradients + double activation
+	// footprint + input batch must fit (the missing points of
+	// Figure 8).
+	if err := checkMemory(cfg, localBatch); err != nil {
+		return nil, nil, err
+	}
+
+	st := &runState{cfg: &cfg, cluster: cluster}
+	st.world = mpi.NewWorld(cluster, cfg.GPUs)
+	st.comm = st.world.WorldComm()
+	opts := cfg.ReduceOpts
+	if opts == (coll.Options{}) {
+		opts = coll.DefaultOptions()
+	}
+	st.red = coll.NewReducer(st.comm, cfg.Reduce, opts)
+	st.phases = make([]Phases, cfg.GPUs)
+	for i := 0; i < cfg.GPUs; i++ {
+		if cfg.Design == ParamServer && i == 0 {
+			st.wl = append(st.wl, newWorkload(&cfg, 0)) // server holds buffers only
+			continue
+		}
+		w := newWorkload(&cfg, localBatch)
+		if cfg.BucketBytes > 0 && cfg.Design == SCOBR {
+			w.buildBuckets(cfg.Spec, cfg.BucketBytes)
+		}
+		st.wl = append(st.wl, w)
+	}
+	if cfg.RealNet != nil {
+		policy, err := buildPolicy(&cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.sgds = make([]*solver.SGD, cfg.GPUs)
+		for i := range st.sgds {
+			st.sgds[i] = solver.New(policy, cfg.Momentum, cfg.WeightDecay)
+		}
+		if cfg.ResumeFrom != "" {
+			if err := st.resume(cfg.ResumeFrom); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	st.buildReaders(k, localBatch)
+
+	_, err := st.world.Run(func(r *mpi.Rank) {
+		if cfg.DeviceMemory > 0 {
+			r.Dev.SetMemCapacity(cfg.DeviceMemory)
+		}
+		switch cfg.Design {
+		case SCB, CaffeMT:
+			st.runSCB(r)
+		case SCOB:
+			st.runSCOB(r)
+		case SCOBR:
+			st.runSCOBR(r)
+		case CNTKLike:
+			st.runCNTK(r)
+		case ParamServer:
+			st.runPS(r)
+		case ModelParallel:
+			st.runMP(r)
+		}
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: simulation failed: %w", err)
+	}
+	if st.fileErr != nil {
+		return nil, nil, fmt.Errorf("core: snapshot failed: %w", st.fileErr)
+	}
+
+	total := st.world.K.Now()
+	res := &Result{
+		Design:        cfg.Design.String(),
+		Model:         cfg.Spec.Name,
+		GPUs:          cfg.GPUs,
+		GlobalBatch:   cfg.GlobalBatch,
+		LocalBatch:    localBatch,
+		Iterations:    cfg.Iterations,
+		Source:        cfg.Source.String(),
+		ReduceAlg:     st.red.Name(),
+		TotalTime:     total,
+		Phases:        st.phases[0],
+		Losses:        st.losses,
+		Accuracies:    st.accuracies,
+		SnapshotFiles: st.snapshots,
+	}
+	samples := float64(cfg.Iterations) * float64(localBatch) * float64(workers)
+	if total > 0 {
+		res.SamplesPerSec = samples / total.Seconds()
+		res.HCAUtilization, res.PCIeUtilization = linkUtilization(cluster, cfg.GPUs, total)
+	}
+	if cfg.RealNet != nil {
+		root := st.wl[st.rootRank()]
+		root.packParams()
+		res.FinalParams = append([]float32(nil), root.paramData...)
+	}
+	return res, st, nil
+}
+
+// rootRank is the solver that applies updates (rank 0 everywhere
+// except the parameter-server design, whose rank 0 is the server).
+func (st *runState) rootRank() int { return 0 }
+
+// linkUtilization computes the mean busy fraction of the HCAs of the
+// nodes hosting ranks, and of the PCIe links of the rank-occupied
+// GPUs, over the run (averaging both directions).
+func linkUtilization(cluster *topology.Cluster, ranks int, total sim.Time) (hca, pcie float64) {
+	if total <= 0 {
+		return 0, 0
+	}
+	nodesUsed := (ranks + cluster.GPUsPerNode() - 1) / cluster.GPUsPerNode()
+	var hcaBusy sim.Duration
+	for n := 0; n < nodesUsed; n++ {
+		hcaBusy += cluster.Nodes[n].HCA.BusyTotal()
+	}
+	hca = float64(hcaBusy) / float64(2*sim.Duration(nodesUsed)*total)
+	var pcieBusy sim.Duration
+	for r := 0; r < ranks; r++ {
+		d := cluster.DeviceForRank(r)
+		pcieBusy += cluster.Nodes[d.Node].PCIe[d.Local].BusyTotal()
+	}
+	pcie = float64(pcieBusy) / float64(2*sim.Duration(ranks)*total)
+	return hca, pcie
+}
+
+// checkMemory validates the per-GPU footprint against device memory.
+func checkMemory(cfg Config, localBatch int) error {
+	capacity := cfg.DeviceMemory
+	if capacity == 0 {
+		capacity = 12 << 30
+	}
+	need := perRankMemory(&cfg, localBatch)
+	if need > capacity {
+		return &gpu.ErrOutOfMemory{Dev: topology.DeviceID{}, Requested: need, Free: capacity}
+	}
+	return nil
+}
+
+// perRankMemory estimates one solver's device footprint: parameters,
+// gradients, activations and their gradients, and the input batch.
+func perRankMemory(cfg *Config, localBatch int) int64 {
+	params := cfg.Spec.ParamBytes()
+	acts := int64(cfg.Spec.ActivationElems()) * 4 * 2 * int64(localBatch)
+	input := int64(cfg.Spec.Input.Elems()) * 4 * int64(localBatch)
+	if cfg.Design == ModelParallel {
+		// Each rank holds only its layer slice.
+		return (2*params + acts) / int64(cfg.GPUs)
+	}
+	return 2*params + acts + input
+}
+
+// buildReaders wires the data plane: one reader per solver (Figure 3)
+// for the distributed designs, one shared reader for multi-threaded
+// Caffe, and none for the server rank of the PS design.
+func (st *runState) buildReaders(k *sim.Kernel, localBatch int) {
+	cfg := st.cfg
+	var src data.Source
+	switch cfg.Source {
+	case MemorySource:
+		src = data.InMemory{}
+	case LMDBSource:
+		readers := cfg.GPUs
+		if cfg.Design == CaffeMT {
+			readers = 1
+		}
+		src = data.NewLMDBSource(k, readers)
+	case ImageDataSource:
+		src = data.NewImageDataSource(pfs.Default(k))
+	}
+
+	st.readers = make([]*data.Reader, cfg.GPUs)
+	if cfg.Design == CaffeMT {
+		// One reader thread feeds every solver through the shared
+		// queue: it loads the whole global batch, then releases one
+		// token per solver.
+		shared := data.StartSharedReader(k, "reader", src, localBatch*cfg.GPUs, cfg.Spec.PerSampleBytes, cfg.Iterations, cfg.GPUs, cfg.QueueDepth*cfg.GPUs)
+		for i := range st.readers {
+			st.readers[i] = shared
+		}
+		return
+	}
+	for i := 0; i < cfg.GPUs; i++ {
+		if cfg.Design == ParamServer && i == 0 {
+			continue // the server does not train
+		}
+		if cfg.Design == ModelParallel && i != 0 {
+			continue // only the pipeline's first stage reads data
+		}
+		st.readers[i] = data.StartReader(k, fmt.Sprintf("reader%d", i), src, localBatch, cfg.Spec.PerSampleBytes, cfg.Iterations, cfg.QueueDepth)
+	}
+}
+
+// --- shared phase helpers -------------------------------------------------
+
+// timed runs fn, adds the elapsed virtual time to *acc, and records
+// the span on the run's trace recorder under the given phase name.
+func (st *runState) timed(r *mpi.Rank, acc *sim.Duration, phase string, fn func()) {
+	before := r.Now()
+	fn()
+	*acc += r.Now() - before
+	st.cfg.Trace.Add(r.ID, phase, before, r.Now())
+}
+
+// forwardPass runs the full forward with compute kernels (and real
+// math), charging blocked time to ph.Forward.
+func (st *runState) forwardPass(r *mpi.Rank, w *workload, ph *Phases) {
+	w.beginForward()
+	for l := range st.cfg.Spec.Layers {
+		st.forwardLayer(r, w, ph, l)
+	}
+}
+
+// forwardLayer runs one layer's forward kernel.
+func (st *runState) forwardLayer(r *mpi.Rank, w *workload, ph *Phases, l int) {
+	st.timed(r, &ph.Forward, "forward", func() {
+		flops := st.cfg.Spec.Layers[l].FwdFLOPs * float64(w.localBatch)
+		_, end := r.Dev.LaunchCompute(r.Now(), flops)
+		w.forwardLayer(l)
+		r.Proc.WaitUntil(end)
+	})
+}
+
+// backwardPass runs the full backward serially (SC-B / SC-OB / the
+// baselines), charging blocked time to ph.Backward.
+func (st *runState) backwardPass(r *mpi.Rank, w *workload, ph *Phases) {
+	w.beginBackward()
+	for l := len(st.cfg.Spec.Layers) - 1; l >= 0; l-- {
+		st.timed(r, &ph.Backward, "backward", func() {
+			flops := st.cfg.Spec.Layers[l].BwdFLOPs * float64(w.localBatch)
+			_, end := r.Dev.LaunchCompute(r.Now(), flops)
+			w.backwardLayer(l)
+			r.Proc.WaitUntil(end)
+		})
+	}
+}
+
+// applyUpdate performs the root solver's ApplyUpdate: unpack the
+// reduced gradients, run the SGD arithmetic (scaled to average the
+// per-solver mean gradients), and charge the kernel time.
+func (st *runState) applyUpdate(r *mpi.Rank, w *workload, ph *Phases, iter, workers int) {
+	st.timed(r, &ph.Update, "update", func() {
+		_, end := r.Dev.LaunchCompute(r.Now(), solver.UpdateFLOPs(st.cfg.Spec.TotalParams()))
+		if w.real() {
+			w.unpackGrads()
+			st.sgds[0].Step(w.net, iter, 1/float32(workers))
+		}
+		r.Proc.WaitUntil(end)
+	})
+	if w.real() {
+		st.losses = append(st.losses, w.loss())
+	}
+	st.maybeEvaluate(r, w, iter)
+}
+
+// dataWait starts an iteration: it charges the framework's fixed
+// per-iteration overhead, then blocks on this rank's reader queue.
+func (st *runState) dataWait(r *mpi.Rank, w *workload, ph *Phases, iter int) {
+	r.Sleep(st.cluster.P.IterOverhead)
+	st.timed(r, &ph.DataWait, "data", func() {
+		if rd := st.readers[r.ID]; rd != nil {
+			rd.Next(r.Proc)
+		}
+	})
+	if w.real() {
+		rankOffset := st.workerIndex(r) * w.localBatch
+		w.loadBatch(st.cfg.Dataset, iter, w.localBatch*st.workerCount(), rankOffset)
+	}
+}
+
+// workerIndex returns this rank's position among training workers.
+func (st *runState) workerIndex(r *mpi.Rank) int {
+	if st.cfg.Design == ParamServer {
+		return r.ID - 1
+	}
+	return r.ID
+}
+
+// workerCount returns the number of training workers.
+func (st *runState) workerCount() int {
+	if st.cfg.Design == ParamServer {
+		return st.cfg.GPUs - 1
+	}
+	return st.cfg.GPUs
+}
+
+// RunDebug is Run plus the full per-rank phase table (diagnostics and
+// tests).
+func RunDebug(cfg Config) (*Result, []Phases, error) {
+	res, st, err := run(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, st.phases, nil
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var (
+	osReadFile  = os.ReadFile
+	osWriteFile = os.WriteFile
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.scaffemodel")
+	want := &Snapshot{Model: "tiny", Iteration: 41, Params: []float32{1.5, -2, 0, 3.25}}
+	if err := WriteSnapshot(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != want.Model || got.Iteration != want.Iteration || len(got.Params) != len(want.Params) {
+		t.Fatalf("snapshot = %+v", got)
+	}
+	for i := range want.Params {
+		if got.Params[i] != want.Params[i] {
+			t.Fatalf("param %d = %v, want %v", i, got.Params[i], want.Params[i])
+		}
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file read")
+	}
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := WriteSnapshot(path, &Snapshot{Model: "m", Params: []float32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file mid-params.
+	raw := readFile(t, path)
+	writeFile(t, path, raw[:len(raw)-2])
+	if _, err := ReadSnapshot(path); err == nil {
+		t.Error("truncated snapshot read")
+	}
+}
+
+func TestTrainingWithSnapshotsAndResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := tinyRealConfig(2, 16, 6)
+	cfg.SnapshotEvery = 3
+	cfg.SnapshotPrefix = filepath.Join(dir, "tiny")
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.SnapshotFiles) != 2 {
+		t.Fatalf("snapshots = %v, want 2 files", full.SnapshotFiles)
+	}
+	if !strings.HasSuffix(full.SnapshotFiles[0], "tiny_iter_3.scaffemodel") {
+		t.Errorf("snapshot name = %s", full.SnapshotFiles[0])
+	}
+	// The final snapshot holds the final parameters.
+	snap, err := ReadSnapshot(full.SnapshotFiles[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range snap.Params {
+		if snap.Params[i] != full.FinalParams[i] {
+			t.Fatal("final snapshot diverges from final parameters")
+		}
+	}
+
+	// Resume from the mid-run snapshot: params must load and training
+	// must proceed.
+	cfg2 := tinyRealConfig(2, 16, 2)
+	cfg2.ResumeFrom = full.SnapshotFiles[0]
+	resumed, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Losses) != 2 {
+		t.Fatalf("resumed run produced %d losses", len(resumed.Losses))
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	cfg := tinyRealConfig(2, 16, 2)
+	cfg.ResumeFrom = filepath.Join(t.TempDir(), "nope")
+	if _, err := Run(cfg); err == nil {
+		t.Error("resume from missing file should error")
+	}
+	// Wrong model.
+	path := filepath.Join(t.TempDir(), "wrong.scaffemodel")
+	if err := WriteSnapshot(path, &Snapshot{Model: "other", Params: make([]float32, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	cfg.ResumeFrom = path
+	if _, err := Run(cfg); err == nil {
+		t.Error("resume from wrong model should error")
+	}
+}
+
+func TestTimingModeRejectsEvalOptions(t *testing.T) {
+	spec := tinyRealConfig(2, 16, 2).Spec
+	cfg := timingConfig(spec, 2, 16, 2)
+	cfg.TestInterval = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("TestInterval without RealNet should error")
+	}
+}
+
+func TestTestPhaseReportsAccuracy(t *testing.T) {
+	cfg := tinyRealConfig(4, 32, 30)
+	cfg.TestInterval = 10
+	cfg.TestBatches = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accuracies) != 3 {
+		t.Fatalf("accuracies = %v, want 3 test passes", res.Accuracies)
+	}
+	for _, a := range res.Accuracies {
+		if a < 0 || a > 1 {
+			t.Fatalf("accuracy %v out of range", a)
+		}
+	}
+	// Training on learnable data: final accuracy should beat chance
+	// (4 classes -> 0.25).
+	if res.Accuracies[len(res.Accuracies)-1] <= 0.3 {
+		t.Errorf("final accuracy %.2f barely above chance", res.Accuracies[len(res.Accuracies)-1])
+	}
+}
+
+func TestLRPolicies(t *testing.T) {
+	cfg := tinyRealConfig(2, 16, 4)
+	cfg.LRPolicy = "step"
+	cfg.StepSize = 2
+	cfg.Gamma = 0.5
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("step policy: %v", err)
+	}
+	cfg.LRPolicy = "inv"
+	cfg.Gamma, cfg.Power = 1e-4, 0.75
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("inv policy: %v", err)
+	}
+	cfg.LRPolicy = "poly"
+	cfg.Power = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("poly policy: %v", err)
+	}
+	cfg.LRPolicy = "exotic"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown policy should error")
+	}
+	cfg.LRPolicy = "step"
+	cfg.StepSize = 0
+	if _, err := Run(cfg); err == nil {
+		t.Error("step policy without StepSize should error")
+	}
+}
+
+func TestUtilizationReported(t *testing.T) {
+	spec := tinyRealConfig(2, 16, 2).Spec
+	cfg := timingConfig(spec, 8, 64, 3)
+	cfg.Design = CNTKLike
+	cfg.Nodes, cfg.GPUsPerNode = 2, 4 // spread across nodes so the HCAs see traffic
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PCIeUtilization < 0 || res.PCIeUtilization > 1 {
+		t.Errorf("PCIe utilization = %v", res.PCIeUtilization)
+	}
+	if res.HCAUtilization < 0 || res.HCAUtilization > 1 {
+		t.Errorf("HCA utilization = %v", res.HCAUtilization)
+	}
+	if res.HCAUtilization == 0 {
+		t.Error("multi-node CNTK run should use the HCAs")
+	}
+}
+
+// file helpers for the snapshot tests.
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	raw, err := osReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func writeFile(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := osWriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+	"scaffe/internal/solver"
+	"scaffe/internal/topology"
+)
+
+// Model parallelism (the MPI-Caffe row of Table 1): layers are
+// partitioned across ranks by balanced FLOPs; the whole batch flows
+// through the pipeline stage by stage. No parameter broadcast and no
+// gradient aggregation exist — each rank owns its layers — but every
+// stage waits for its upstream neighbour, which is why Section 3.1
+// argues the data-parallel approach scales better for these networks.
+
+// mpPartition splits the spec's layers into `stages` contiguous groups
+// with approximately equal forward+backward FLOPs.
+func mpPartition(cfg *Config, stages int) [][2]int {
+	n := len(cfg.Spec.Layers)
+	if stages > n {
+		stages = n
+	}
+	var total float64
+	for _, l := range cfg.Spec.Layers {
+		total += l.FwdFLOPs + l.BwdFLOPs
+	}
+	target := total / float64(stages)
+	var parts [][2]int
+	lo := 0
+	var acc float64
+	for i, l := range cfg.Spec.Layers {
+		acc += l.FwdFLOPs + l.BwdFLOPs
+		partsLeft := stages - len(parts) // including the one being built
+		layersLeft := n - i - 1
+		if partsLeft > 1 && layersLeft >= partsLeft-1 &&
+			(acc >= target || layersLeft == partsLeft-1) {
+			parts = append(parts, [2]int{lo, i})
+			lo = i + 1
+			acc = 0
+		}
+	}
+	parts = append(parts, [2]int{lo, n - 1})
+	return parts
+}
+
+// mpBoundaryBytes is the activation volume crossing the boundary after
+// layer l for the given batch.
+func mpBoundaryBytes(cfg *Config, l, batch int) int64 {
+	return int64(cfg.Spec.Layers[l].OutElems) * 4 * int64(batch)
+}
+
+// runMP executes the model-parallel pipeline. Every rank processes the
+// full global batch for its own layer range; stage outputs move to the
+// next rank with CUDA-aware transfers.
+func (st *runState) runMP(r *mpi.Rank) {
+	cfg := st.cfg
+	ph := &st.phases[r.ID]
+	parts := mpPartition(cfg, cfg.GPUs)
+	if r.ID >= len(parts) {
+		return // more ranks than layers: surplus ranks idle
+	}
+	lo, hi := parts[r.ID][0], parts[r.ID][1]
+	first := r.ID == 0
+	last := r.ID == len(parts)-1
+	batch := cfg.GlobalBatch
+
+	var ownParams int
+	for l := lo; l <= hi; l++ {
+		ownParams += cfg.Spec.Layers[l].ParamElems
+	}
+
+	const tagFwd, tagBwd = 70, 71
+	for it := 0; it < cfg.Iterations; it++ {
+		if first {
+			st.dataWait(r, st.wl[r.ID], ph, it)
+		}
+		// Forward: receive upstream activations, compute my stage,
+		// forward downstream.
+		if !first {
+			st.timed(r, &ph.Forward, "forward", func() {
+				r.Recv(st.comm, r.ID-1, tagFwd, gpu.NewBuffer(mpBoundaryBytes(cfg, lo-1, batch)))
+			})
+		}
+		for l := lo; l <= hi; l++ {
+			st.timed(r, &ph.Forward, "forward", func() {
+				_, end := r.Dev.LaunchCompute(r.Now(), cfg.Spec.Layers[l].FwdFLOPs*float64(batch))
+				r.Proc.WaitUntil(end)
+			})
+		}
+		if !last {
+			st.timed(r, &ph.Forward, "forward", func() {
+				r.Send(st.comm, r.ID+1, tagFwd, gpu.NewBuffer(mpBoundaryBytes(cfg, hi, batch)), topology.ModeAuto)
+			})
+		}
+		// Backward: mirror image.
+		if !last {
+			st.timed(r, &ph.Backward, "backward", func() {
+				r.Recv(st.comm, r.ID+1, tagBwd, gpu.NewBuffer(mpBoundaryBytes(cfg, hi, batch)))
+			})
+		}
+		for l := hi; l >= lo; l-- {
+			st.timed(r, &ph.Backward, "backward", func() {
+				_, end := r.Dev.LaunchCompute(r.Now(), cfg.Spec.Layers[l].BwdFLOPs*float64(batch))
+				r.Proc.WaitUntil(end)
+			})
+		}
+		if !first {
+			st.timed(r, &ph.Backward, "backward", func() {
+				r.Send(st.comm, r.ID-1, tagBwd, gpu.NewBuffer(mpBoundaryBytes(cfg, lo-1, batch)), topology.ModeAuto)
+			})
+		}
+		// Local update of the owned layer range — no aggregation.
+		st.timed(r, &ph.Update, "update", func() {
+			_, end := r.Dev.LaunchCompute(r.Now(), solver.UpdateFLOPs(ownParams))
+			r.Proc.WaitUntil(end)
+		})
+	}
+}

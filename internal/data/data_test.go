@@ -1,0 +1,240 @@
+package data
+
+import (
+	"testing"
+
+	"scaffe/internal/layers"
+	"scaffe/internal/pfs"
+	"scaffe/internal/sim"
+)
+
+func TestSyntheticDeterministic(t *testing.T) {
+	d := SyntheticCIFAR10(100, 7)
+	a := d.At(42)
+	b := d.At(42)
+	if a.Label != b.Label {
+		t.Fatal("labels differ across calls")
+	}
+	for i := range a.Image {
+		if a.Image[i] != b.Image[i] {
+			t.Fatal("images differ across calls")
+		}
+	}
+	d2 := SyntheticCIFAR10(100, 7)
+	c := d2.At(42)
+	if c.Label != a.Label || c.Image[0] != a.Image[0] {
+		t.Fatal("same seed produced different dataset")
+	}
+}
+
+func TestSyntheticGeometry(t *testing.T) {
+	m := SyntheticMNIST(10, 1)
+	if m.Shape() != (layers.Shape{C: 1, H: 28, W: 28}) || m.Classes() != 10 || m.Len() != 10 {
+		t.Error("MNIST geometry wrong")
+	}
+	im := SyntheticImageNet(5, 1)
+	if im.Shape().Elems() != 3*224*224 || im.Classes() != 1000 {
+		t.Error("ImageNet geometry wrong")
+	}
+	if im.Name() != "synthetic-imagenet" {
+		t.Error("name wrong")
+	}
+	s := im.At(3)
+	if len(s.Image) != 3*224*224 || s.Label < 0 || s.Label >= 1000 {
+		t.Error("sample geometry wrong")
+	}
+}
+
+func TestSyntheticOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range sample")
+		}
+	}()
+	SyntheticMNIST(5, 1).At(5)
+}
+
+func TestBatchTensorWraps(t *testing.T) {
+	d := SyntheticMNIST(10, 3)
+	img, labels := BatchTensor(d, 8, 4) // wraps to samples 8,9,0,1
+	if len(img) != 4*28*28 || len(labels) != 4 {
+		t.Fatal("batch geometry wrong")
+	}
+	s0 := d.At(8)
+	s2 := d.At(0)
+	if labels[0] != s0.Label || labels[2] != s2.Label {
+		t.Error("wrapped batch picked wrong samples")
+	}
+	if img[0] != s0.Image[0] || img[2*28*28] != s2.Image[0] {
+		t.Error("wrapped batch copied wrong images")
+	}
+}
+
+func TestInMemorySourceFree(t *testing.T) {
+	k := sim.New()
+	var took sim.Duration
+	k.Spawn("r", func(p *sim.Proc) {
+		before := p.Now()
+		InMemory{}.ReadBatch(p, 1000, 150000)
+		took = p.Now() - before
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if took != 0 {
+		t.Errorf("in-memory read cost %v", took)
+	}
+}
+
+func TestLMDBPenaltyShape(t *testing.T) {
+	k := sim.New()
+	at64 := NewLMDBSource(k, 64).Penalty()
+	at128 := NewLMDBSource(k, 128).Penalty()
+	at160 := NewLMDBSource(k, 160).Penalty()
+	if at64 != 1 {
+		t.Errorf("penalty(64) = %v, want 1", at64)
+	}
+	if at128 <= at64 || at160 <= at128 {
+		t.Errorf("penalty must grow past the slot limit: %v %v %v", at64, at128, at160)
+	}
+}
+
+func TestLMDBSharedDiskSerializes(t *testing.T) {
+	// Readers share the environment's sequential bandwidth: four
+	// concurrent disk-bound batches take ~4x one batch.
+	batchTime := func(readers int) sim.Duration {
+		k := sim.New()
+		src := NewLMDBSource(k, readers)
+		var latest sim.Time
+		for i := 0; i < readers; i++ {
+			k.Spawn("r", func(p *sim.Proc) {
+				src.ReadBatch(p, 256, 1<<20) // 256 MB: disk-dominated
+				if p.Now() > latest {
+					latest = p.Now()
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return latest
+	}
+	one := batchTime(1)
+	four := batchTime(4)
+	if four < 3*one {
+		t.Errorf("4 readers finished in %v; expected ~4x one reader's %v", four, one)
+	}
+}
+
+func TestLMDBCheapBelowSlotLimit(t *testing.T) {
+	// Below the slot limit, small batches cost little more with 32
+	// readers than with 1: LMDB reads are MVCC and nearly lock-free.
+	batchTime := func(readers int) sim.Duration {
+		k := sim.New()
+		src := NewLMDBSource(k, readers)
+		var latest sim.Time
+		for i := 0; i < readers; i++ {
+			k.Spawn("r", func(p *sim.Proc) {
+				src.ReadBatch(p, 16, 3100)
+				if p.Now() > latest {
+					latest = p.Now()
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return latest
+	}
+	one := batchTime(1)
+	many := batchTime(32)
+	if many > 10*one {
+		t.Errorf("32 small-batch readers took %v vs single %v; sub-limit reads should stay cheap", many, one)
+	}
+}
+
+func TestImageDataSourceScales(t *testing.T) {
+	// Aggregate PFS bandwidth lets N readers finish in much less than
+	// N x single-reader time.
+	batchTime := func(readers int) sim.Duration {
+		k := sim.New()
+		src := NewImageDataSource(pfs.Default(k))
+		var latest sim.Time
+		for i := 0; i < readers; i++ {
+			k.Spawn("r", func(p *sim.Proc) {
+				src.ReadBatch(p, 64, 150000)
+				if p.Now() > latest {
+					latest = p.Now()
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return latest
+	}
+	one := batchTime(1)
+	sixteen := batchTime(16)
+	if sixteen > 8*one {
+		t.Errorf("16 PFS readers took %v vs single %v; should scale sublinearly", sixteen, one)
+	}
+	if src := NewImageDataSource(pfs.Default(sim.New())); src.Name() != "imagedata" {
+		t.Error("name wrong")
+	}
+}
+
+func TestReaderPrefetchHidesIO(t *testing.T) {
+	// With queue depth 2, the solver's second Next should find data
+	// already buffered when compute is slower than I/O.
+	k := sim.New()
+	src := &fixedCostSource{cost: 10 * sim.Millisecond}
+	r := StartReader(k, "reader", src, 32, 1000, 4, 2)
+	var waits []sim.Duration
+	k.Spawn("solver", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			before := p.Now()
+			r.Next(p)
+			waits = append(waits, p.Now()-before)
+			p.Sleep(50 * sim.Millisecond) // compute longer than I/O
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if waits[0] == 0 {
+		t.Error("first batch should cost I/O time")
+	}
+	for i, w := range waits[1:] {
+		if w != 0 {
+			t.Errorf("batch %d not prefetched: waited %v", i+1, w)
+		}
+	}
+}
+
+func TestSharedReaderFeedsAllConsumers(t *testing.T) {
+	k := sim.New()
+	src := &fixedCostSource{cost: sim.Millisecond}
+	r := StartSharedReader(k, "reader", src, 64, 1000, 3, 4, 8)
+	finished := 0
+	for c := 0; c < 4; c++ {
+		k.Spawn("solver", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				r.Next(p)
+			}
+			finished++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 4 {
+		t.Errorf("%d consumers finished, want 4", finished)
+	}
+}
+
+type fixedCostSource struct{ cost sim.Duration }
+
+func (f *fixedCostSource) Name() string { return "fixed" }
+func (f *fixedCostSource) ReadBatch(p *sim.Proc, n int, bytesPer int64) {
+	p.Sleep(f.cost)
+}

@@ -1,0 +1,93 @@
+package data
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestDatumRoundTrip(t *testing.T) {
+	f := func(label uint8, img []float32) bool {
+		s := Sample{Image: img, Label: int(label)}
+		got, err := DecodeSample(EncodeSample(s))
+		if err != nil {
+			return false
+		}
+		if got.Label != s.Label || len(got.Image) != len(s.Image) {
+			return false
+		}
+		for i := range img {
+			// NaN-safe bitwise comparison via re-encode.
+			if got.Image[i] != img[i] && (got.Image[i] == got.Image[i] || img[i] == img[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeSampleRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSample([]byte{1, 2, 3}); err == nil {
+		t.Error("short datum accepted")
+	}
+	if _, err := DecodeSample(make([]byte, 16)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	good := EncodeSample(Sample{Image: []float32{1, 2}, Label: 1})
+	if _, err := DecodeSample(good[:len(good)-2]); err == nil {
+		t.Error("truncated datum accepted")
+	}
+}
+
+func TestStoreDatasetRoundTrip(t *testing.T) {
+	src := SyntheticCIFAR10(64, 9)
+	path := filepath.Join(t.TempDir(), "cifar.slmdb")
+	if err := BuildStore(path, src, 64); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenStore(path, src.Shape(), src.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Len() != 64 || ds.Classes() != 10 || ds.Shape() != src.Shape() {
+		t.Fatalf("store geometry: len=%d classes=%d shape=%v", ds.Len(), ds.Classes(), ds.Shape())
+	}
+	for _, i := range []int{0, 7, 63} {
+		want := src.At(i)
+		got := ds.At(i)
+		if got.Label != want.Label {
+			t.Fatalf("sample %d label %d != %d", i, got.Label, want.Label)
+		}
+		for j := range want.Image {
+			if got.Image[j] != want.Image[j] {
+				t.Fatalf("sample %d pixel %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildStoreCapsAtDatasetLen(t *testing.T) {
+	src := SyntheticMNIST(5, 1)
+	path := filepath.Join(t.TempDir(), "small.slmdb")
+	if err := BuildStore(path, src, 100); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenStore(path, src.Shape(), src.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Len() != 5 {
+		t.Errorf("store len = %d, want 5", ds.Len())
+	}
+}
+
+func TestOpenStoreMissingFile(t *testing.T) {
+	if _, err := OpenStore(filepath.Join(t.TempDir(), "nope"), SyntheticMNIST(1, 1).Shape(), 10); err == nil {
+		t.Error("missing store opened")
+	}
+}

@@ -1,0 +1,134 @@
+package data
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"scaffe/internal/layers"
+)
+
+// IDX support: the MNIST distribution format (big-endian magic,
+// dimension sizes, raw bytes). LoadIDX reads standard
+// train-images-idx3-ubyte / train-labels-idx1-ubyte pairs so the
+// real-compute path can train on the actual MNIST files when they are
+// present; WriteIDX produces the same format (used by tests and by
+// tooling that wants to export synthetic data for other frameworks).
+
+const (
+	idxMagicU8Dim1 = 0x00000801 // unsigned byte, 1 dimension (labels)
+	idxMagicU8Dim3 = 0x00000803 // unsigned byte, 3 dimensions (images)
+)
+
+// IDXDataset is an in-memory dataset loaded from IDX image/label
+// files. Pixels normalize to [0, 1].
+type IDXDataset struct {
+	name    string
+	shape   layers.Shape
+	classes int
+	images  [][]float32
+	labels  []int
+}
+
+// LoadIDX reads an images file and a labels file in IDX format.
+func LoadIDX(imagesPath, labelsPath string) (*IDXDataset, error) {
+	img, err := os.ReadFile(imagesPath)
+	if err != nil {
+		return nil, fmt.Errorf("data: idx: %w", err)
+	}
+	lbl, err := os.ReadFile(labelsPath)
+	if err != nil {
+		return nil, fmt.Errorf("data: idx: %w", err)
+	}
+	if len(img) < 16 || binary.BigEndian.Uint32(img) != idxMagicU8Dim3 {
+		return nil, fmt.Errorf("data: %s is not an idx3-ubyte image file", imagesPath)
+	}
+	if len(lbl) < 8 || binary.BigEndian.Uint32(lbl) != idxMagicU8Dim1 {
+		return nil, fmt.Errorf("data: %s is not an idx1-ubyte label file", labelsPath)
+	}
+	n := int(binary.BigEndian.Uint32(img[4:]))
+	h := int(binary.BigEndian.Uint32(img[8:]))
+	w := int(binary.BigEndian.Uint32(img[12:]))
+	if int(binary.BigEndian.Uint32(lbl[4:])) != n {
+		return nil, fmt.Errorf("data: idx image/label counts differ (%d vs %d)", n, binary.BigEndian.Uint32(lbl[4:]))
+	}
+	if len(img) != 16+n*h*w || len(lbl) != 8+n {
+		return nil, fmt.Errorf("data: idx payload sizes inconsistent with header")
+	}
+	d := &IDXDataset{
+		name:  "idx:" + imagesPath,
+		shape: layers.Shape{C: 1, H: h, W: w},
+	}
+	px := img[16:]
+	for i := 0; i < n; i++ {
+		im := make([]float32, h*w)
+		for j := range im {
+			im[j] = float32(px[i*h*w+j]) / 255
+		}
+		d.images = append(d.images, im)
+		label := int(lbl[8+i])
+		d.labels = append(d.labels, label)
+		if label+1 > d.classes {
+			d.classes = label + 1
+		}
+	}
+	return d, nil
+}
+
+// WriteIDX exports the first n samples of ds (single-channel datasets
+// only) as an IDX image/label file pair.
+func WriteIDX(imagesPath, labelsPath string, ds Dataset, n int) error {
+	sh := ds.Shape()
+	if sh.C != 1 {
+		return fmt.Errorf("data: idx export needs single-channel data, got %d channels", sh.C)
+	}
+	if n > ds.Len() {
+		n = ds.Len()
+	}
+	img := make([]byte, 16, 16+n*sh.H*sh.W)
+	binary.BigEndian.PutUint32(img[0:], idxMagicU8Dim3)
+	binary.BigEndian.PutUint32(img[4:], uint32(n))
+	binary.BigEndian.PutUint32(img[8:], uint32(sh.H))
+	binary.BigEndian.PutUint32(img[12:], uint32(sh.W))
+	lbl := make([]byte, 8, 8+n)
+	binary.BigEndian.PutUint32(lbl[0:], idxMagicU8Dim1)
+	binary.BigEndian.PutUint32(lbl[4:], uint32(n))
+	for i := 0; i < n; i++ {
+		s := ds.At(i)
+		for _, v := range s.Image {
+			p := v * 255
+			if p < 0 {
+				p = 0
+			}
+			if p > 255 {
+				p = 255
+			}
+			img = append(img, byte(p))
+		}
+		lbl = append(lbl, byte(s.Label))
+	}
+	if err := os.WriteFile(imagesPath, img, 0o644); err != nil {
+		return fmt.Errorf("data: idx export: %w", err)
+	}
+	if err := os.WriteFile(labelsPath, lbl, 0o644); err != nil {
+		return fmt.Errorf("data: idx export: %w", err)
+	}
+	return nil
+}
+
+// Name implements Dataset.
+func (d *IDXDataset) Name() string { return d.name }
+
+// Len implements Dataset.
+func (d *IDXDataset) Len() int { return len(d.images) }
+
+// Shape implements Dataset.
+func (d *IDXDataset) Shape() layers.Shape { return d.shape }
+
+// Classes implements Dataset.
+func (d *IDXDataset) Classes() int { return d.classes }
+
+// At implements Dataset.
+func (d *IDXDataset) At(i int) Sample {
+	return Sample{Image: d.images[i], Label: d.labels[i]}
+}

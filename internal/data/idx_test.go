@@ -1,0 +1,117 @@
+package data
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestIDXRoundTrip(t *testing.T) {
+	src := SyntheticMNIST(32, 4)
+	dir := t.TempDir()
+	imgs := filepath.Join(dir, "images-idx3-ubyte")
+	lbls := filepath.Join(dir, "labels-idx1-ubyte")
+	if err := WriteIDX(imgs, lbls, src, 32); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadIDX(imgs, lbls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 32 || ds.Shape() != src.Shape() {
+		t.Fatalf("geometry: len=%d shape=%v", ds.Len(), ds.Shape())
+	}
+	for _, i := range []int{0, 15, 31} {
+		want := src.At(i)
+		got := ds.At(i)
+		if got.Label != want.Label {
+			t.Fatalf("sample %d label %d != %d", i, got.Label, want.Label)
+		}
+		// 8-bit quantization: within 1/255 after clamping to [0,1].
+		for j := range want.Image {
+			w := want.Image[j]
+			if w < 0 {
+				w = 0
+			}
+			if w > 1 {
+				w = 1
+			}
+			diff := float64(got.Image[j] - w)
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 1.0/255+1e-6 {
+				t.Fatalf("sample %d pixel %d differs by %v", i, j, diff)
+			}
+		}
+	}
+}
+
+func TestIDXRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	good := SyntheticMNIST(4, 1)
+	imgs := filepath.Join(dir, "i")
+	lbls := filepath.Join(dir, "l")
+	if err := WriteIDX(imgs, lbls, good, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDX(filepath.Join(dir, "missing"), lbls); err == nil {
+		t.Error("missing images accepted")
+	}
+	if _, err := LoadIDX(imgs, filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing labels accepted")
+	}
+	// Bad magic.
+	raw, _ := os.ReadFile(imgs)
+	bad := append([]byte(nil), raw...)
+	binary.BigEndian.PutUint32(bad, 0xdeadbeef)
+	badPath := filepath.Join(dir, "bad")
+	os.WriteFile(badPath, bad, 0o644)
+	if _, err := LoadIDX(badPath, lbls); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated payload.
+	os.WriteFile(badPath, raw[:len(raw)-5], 0o644)
+	if _, err := LoadIDX(badPath, lbls); err == nil {
+		t.Error("truncated images accepted")
+	}
+	// Count mismatch.
+	other := filepath.Join(dir, "i2")
+	otherL := filepath.Join(dir, "l2")
+	if err := WriteIDX(other, otherL, good, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIDX(imgs, otherL); err == nil {
+		t.Error("count mismatch accepted")
+	}
+}
+
+func TestWriteIDXRejectsMultiChannel(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteIDX(filepath.Join(dir, "i"), filepath.Join(dir, "l"), SyntheticCIFAR10(4, 1), 4); err == nil {
+		t.Error("3-channel export should fail")
+	}
+}
+
+func TestIDXTrainsLeNet(t *testing.T) {
+	// End-to-end: export synthetic MNIST to IDX, load it back, train
+	// LeNet on it for a few steps.
+	dir := t.TempDir()
+	imgs := filepath.Join(dir, "train-images-idx3-ubyte")
+	lbls := filepath.Join(dir, "train-labels-idx1-ubyte")
+	if err := WriteIDX(imgs, lbls, SyntheticMNIST(256, 7), 256); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadIDX(imgs, lbls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes() < 2 {
+		t.Fatalf("classes = %d", ds.Classes())
+	}
+	img, labels := BatchTensor(ds, 0, 8)
+	if len(img) != 8*28*28 || len(labels) != 8 {
+		t.Fatal("batch assembly from IDX failed")
+	}
+}

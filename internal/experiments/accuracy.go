@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/core"
+	"scaffe/internal/data"
+	"scaffe/internal/models"
+)
+
+// Accuracy reproduces the Section 6.2 validation: "We observed no
+// difference in accuracy between Caffe and S-Caffe." We train the
+// CIFAR-10 quick model in real-compute mode — single solver vs four
+// distributed solvers on the same effective batch — and compare the
+// loss trajectory, the held-out accuracy, and (our stronger check) the
+// final parameters themselves.
+func Accuracy(o Options) (*Table, error) {
+	iters := o.iters(40)
+	if iters < 10 {
+		iters = 10
+	}
+	mk := func(gpus int) core.Config {
+		return core.Config{
+			Spec:         models.SpecFromNet(models.BuildCIFAR10Quick(1, 1)),
+			RealNet:      models.BuildCIFAR10Quick,
+			Dataset:      data.SyntheticCIFAR10(8192, 3),
+			GPUs:         gpus,
+			Nodes:        1,
+			GPUsPerNode:  16,
+			GlobalBatch:  32,
+			Iterations:   iters,
+			Design:       core.SCOBR,
+			Reduce:       coll.Binomial,
+			Source:       core.MemorySource,
+			Seed:         3,
+			BaseLR:       0.05,
+			Momentum:     0.9,
+			TestInterval: iters / 2,
+			TestBatches:  2,
+		}
+	}
+	single, err := core.Run(mk(1))
+	if err != nil {
+		return nil, err
+	}
+	multi, err := core.Run(mk(4))
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "accuracy",
+		Title:   "Real-compute training equivalence: 1 solver vs 4 distributed solvers (CIFAR-10 quick)",
+		Columns: []string{"Metric", "1 GPU", "4 GPUs (SC-OBR)"},
+	}
+	t.AddRow("first loss", fmt.Sprintf("%.4f", single.Losses[0]), fmt.Sprintf("%.4f", multi.Losses[0]))
+	t.AddRow("final loss", fmt.Sprintf("%.4f", single.Losses[len(single.Losses)-1]),
+		fmt.Sprintf("%.4f", multi.Losses[len(multi.Losses)-1]))
+	for i := range single.Accuracies {
+		t.AddRow(fmt.Sprintf("held-out accuracy (pass %d)", i+1),
+			fmt.Sprintf("%.3f", single.Accuracies[i]), fmt.Sprintf("%.3f", multi.Accuracies[i]))
+	}
+	var maxDiff float64
+	for i := range single.FinalParams {
+		d := math.Abs(float64(single.FinalParams[i] - multi.FinalParams[i]))
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	t.AddRow("max |Δ final params|", "—", fmt.Sprintf("%.2e", maxDiff))
+	t.Note("Paper (§6.2): \"We observed no difference in accuracy between Caffe and S-Caffe.\" Here the check is stronger: the distributed solvers' final parameters match single-solver training over all %d parameters up to float32 reassociation error, which momentum feedback amplifies slowly with iteration count (it stays orders of magnitude below parameter scale).", len(single.FinalParams))
+	if maxDiff > 0.05 {
+		return nil, fmt.Errorf("accuracy experiment: distributed training diverged (max |Δ| = %g)", maxDiff)
+	}
+	return t, nil
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/core"
+	"scaffe/internal/models"
+)
+
+// Figure13 regenerates the SC-B vs SC-OB comparison: the overlapped
+// multi-stage Ibcast design hides data propagation under the forward
+// pass (the paper reports up to 15% end-to-end improvement).
+func Figure13(o Options) (*Table, error) {
+	spec := models.GoogLeNet()
+	iters := o.iters(10)
+	gpus := o.cap([]int{16, 32, 64})
+	t := &Table{
+		ID:      "figure13",
+		Title:   "SC-B vs SC-OB: propagation blocked time and total time (GoogLeNet)",
+		Columns: []string{"GPUs", "SC-B prop", "SC-B total", "SC-OB prop", "SC-OB total", "Improvement"},
+	}
+	var best float64
+	for _, g := range gpus {
+		mk := func(d core.Design) core.Config {
+			cfg := scaffeConfig(spec, g, 8*g, iters)
+			cfg.Design = d
+			cfg.Reduce = coll.Tuned
+			cfg.Source = core.MemorySource // isolate communication behaviour
+			return cfg
+		}
+		scb, err := core.Run(mk(core.SCB))
+		if err != nil {
+			return nil, fmt.Errorf("figure13 SC-B @%d: %w", g, err)
+		}
+		scob, err := core.Run(mk(core.SCOB))
+		if err != nil {
+			return nil, fmt.Errorf("figure13 SC-OB @%d: %w", g, err)
+		}
+		imp := 1 - float64(scob.TotalTime)/float64(scb.TotalTime)
+		if imp > best {
+			best = imp
+		}
+		// Propagation blocked time is reported for a non-root rank
+		// (the root never blocks on its own broadcast); we use the
+		// root's phase table for totals and cite the rank-average for
+		// propagation via the SC-B root (which does block).
+		t.AddRow(fmt.Sprint(g),
+			scb.Phases.Propagation.String(), scb.TotalTime.String(),
+			scob.Phases.Propagation.String(), scob.TotalTime.String(),
+			fmt.Sprintf("%.1f%%", imp*100))
+	}
+	t.Note("Paper: up to 15%% improvement for SC-OB over SC-B; measured up to %.1f%%.", best*100)
+	return t, nil
+}
+
+// Table2 regenerates the HR co-design table: SC-B with the stock MV2
+// reduce vs SC-B(+HR) under CC-8, CB-4, and CB-8, reporting
+// aggregation time, total time, and both speedups (paper: 2.3x
+// aggregation and 1.25x overall for CB-8 at scale).
+func Table2(o Options) (*Table, error) {
+	spec := models.CaffeNet()
+	iters := o.iters(5)
+	gpus := 160
+	if o.MaxGPUs > 0 && o.MaxGPUs < gpus {
+		gpus = o.MaxGPUs
+	}
+	t := &Table{
+		ID:      "table2",
+		Title:   fmt.Sprintf("SC-B vs SC-B(+HR), CaffeNet, %d GPUs", gpus),
+		Columns: []string{"Algorithm/Communicator", "Design", "Aggregation", "Total", "Agg. speedup", "Overall speedup"},
+	}
+	mk := func(alg coll.Algorithm, chain int) core.Config {
+		// Local batch 256 puts aggregation near the paper's ~36% share
+		// of iteration time (Table 2: 40.6 of 113.6).
+		cfg := scaffeConfig(spec, gpus, 256*gpus, iters)
+		cfg.Design = core.SCB
+		cfg.Reduce = alg
+		cfg.ReduceOpts = coll.DefaultOptions()
+		cfg.ReduceOpts.ChainSize = chain
+		cfg.Source = core.MemorySource
+		return cfg
+	}
+	base, err := core.Run(mk(coll.MV2Baseline, 8))
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("N/A", "SC-B", base.Phases.Aggregation.String(), base.TotalTime.String(), "1", "1")
+	var cb8Agg, cb8Total float64
+	for _, v := range []struct {
+		label string
+		alg   coll.Algorithm
+		chain int
+	}{
+		{"CC-8", coll.ChainChain, 8},
+		{"CB-4", coll.ChainBinomial, 4},
+		{"CB-8", coll.ChainBinomial, 8},
+	} {
+		res, err := core.Run(mk(v.alg, v.chain))
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", v.label, err)
+		}
+		aggSp := float64(base.Phases.Aggregation) / float64(res.Phases.Aggregation)
+		totSp := float64(base.TotalTime) / float64(res.TotalTime)
+		if v.label == "CB-8" {
+			cb8Agg, cb8Total = aggSp, totSp
+		}
+		t.AddRow(v.label, "SC-B (+HR)", res.Phases.Aggregation.String(), res.TotalTime.String(),
+			fmt.Sprintf("%.2fx", aggSp), fmt.Sprintf("%.2fx", totSp))
+	}
+	t.Note("Paper: CB-8 gives 2.3x aggregation speedup and 1.25x overall; measured %.2fx / %.2fx.", cb8Agg, cb8Total)
+	t.Note("In the contention-free simulator CC-8 stays ahead of CB-8 even at 160 processes; on the paper's hardware process skew penalizes long chains, which is why its tuned table prefers CB beyond 64 processes.")
+	return t, nil
+}
+
+// SCOBR regenerates the Section 6.6 text result: the helper-thread
+// overlapped aggregation (SC-OBR) vs SC-B on CaffeNet at 8 and 16 GPUs
+// (paper: 20% and 12% improvement respectively).
+func SCOBR(o Options) (*Table, error) {
+	spec := models.CaffeNet()
+	iters := o.iters(10)
+	t := &Table{
+		ID:      "scobr",
+		Title:   "SC-OBR vs SC-B, CaffeNet (Section 6.6)",
+		Columns: []string{"GPUs", "SC-B total", "SC-OBR total", "Improvement"},
+	}
+	for _, g := range o.cap([]int{8, 16}) {
+		mk := func(d core.Design) core.Config {
+			cfg := scaffeConfig(spec, g, 16*g, iters)
+			cfg.Design = d
+			cfg.Reduce = coll.Tuned
+			cfg.Source = core.MemorySource
+			return cfg
+		}
+		scb, err := core.Run(mk(core.SCB))
+		if err != nil {
+			return nil, err
+		}
+		obr, err := core.Run(mk(core.SCOBR))
+		if err != nil {
+			return nil, err
+		}
+		imp := 1 - float64(obr.TotalTime)/float64(scb.TotalTime)
+		t.AddRow(fmt.Sprint(g), scb.TotalTime.String(), obr.TotalTime.String(), fmt.Sprintf("%.1f%%", imp*100))
+	}
+	t.Note("Paper: 20%% improvement at 8 GPUs and 12%% at 16 GPUs for CaffeNet.")
+	return t, nil
+}
+
+// CostModel evaluates Eq. (1) and Eq. (2) of Section 5 and verifies
+// the crossovers the paper derives, alongside simulator measurements.
+func CostModel(Options) (*Table, error) {
+	p := coll.CostParams{Alpha: 10e-6, Beta: 10e9}
+	t := &Table{
+		ID:      "costmodel",
+		Title:   "Eq.(1)/(2): T(Bin)=log2(P)·t(b) vs T(CC)=(n+P−2)·t(c), n=8",
+		Columns: []string{"P", "b", "T(Bin)", "T(CC)", "Winner"},
+	}
+	for _, procs := range []int{4, 8, 16, 64, 160} {
+		for _, mb := range []float64{4, 64, 256} {
+			b := mb * 1e6
+			tb := coll.BinomialTime(p, procs, b)
+			tc := coll.ChainTime(p, procs, 8, b)
+			winner := "chain"
+			if tb < tc {
+				winner = "binomial"
+			}
+			t.AddRow(fmt.Sprint(procs), fmt.Sprintf("%.0fMB", mb),
+				fmt.Sprintf("%.2fms", tb*1e3), fmt.Sprintf("%.2fms", tc*1e3), winner)
+		}
+	}
+	for _, mb := range []float64{4, 64, 256} {
+		x := coll.CrossoverProcs(p, 8, mb*1e6, 512)
+		t.Note("Crossover for b=%.0fMB: binomial wins for P >= %d.", mb, x)
+	}
+	t.Note("Paper: for small P and large b, T(CC) << T(Bin); for large P and small b, T(CC) >> T(Bin) — hence the two-level hybrid (Section 5).")
+	return t, nil
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/core"
+	"scaffe/internal/models"
+	"scaffe/internal/sim"
+)
+
+// scaffeConfig returns the full co-design configuration (SC-OBR + HR)
+// on Cluster-A geometry.
+func scaffeConfig(spec *models.Spec, gpus, batch, iters int) core.Config {
+	return core.Config{
+		Spec:        spec,
+		GPUs:        gpus,
+		Nodes:       12,
+		GPUsPerNode: 16,
+		GlobalBatch: batch,
+		Iterations:  iters,
+		Design:      core.SCOBR,
+		Reduce:      coll.Tuned,
+		Source:      core.ImageDataSource,
+		Seed:        1,
+	}
+}
+
+// Figure8 regenerates the GoogLeNet strong-scaling comparison: Caffe
+// (single node, LMDB, up to 16 GPUs), S-Caffe-L (distributed, LMDB),
+// and S-Caffe (distributed, ImageDataLayer on the PFS). The paper
+// varies batch size with scale (parenthesized in its figure); we use a
+// fixed per-GPU batch of 8, matching its 160-GPU operating point
+// (batch 1280).
+func Figure8(o Options) (*Table, error) {
+	spec := models.GoogLeNet()
+	iters := o.iters(20)
+	gpus := o.cap([]int{16, 32, 64, 128, 160})
+	t := &Table{
+		ID:      "figure8",
+		Title:   "GoogLeNet (ImageNet) training time and speedup on Cluster-A",
+		Columns: []string{"GPUs", "Batch", "Caffe time/iter", "S-Caffe-L time/iter", "S-Caffe time/iter", "S-Caffe SPS", "Speedup vs 32"},
+	}
+	var sps32, sps160 float64
+	for _, g := range gpus {
+		batch := 8 * g
+		caffe := "—"
+		if g <= 16 {
+			cfg := scaffeConfig(spec, g, batch, iters)
+			cfg.Design = core.CaffeMT
+			cfg.Reduce = coll.Binomial
+			cfg.Source = core.LMDBSource
+			cfg.Nodes, cfg.GPUsPerNode = 1, 16
+			if res, err := core.Run(cfg); err == nil {
+				caffe = res.TimePerIter().String()
+			} else {
+				caffe = "OOM"
+			}
+		}
+		lcfg := scaffeConfig(spec, g, batch, iters)
+		lcfg.Source = core.LMDBSource
+		scl := "—"
+		if res, err := core.Run(lcfg); err == nil {
+			scl = res.TimePerIter().String()
+		} else {
+			scl = "OOM"
+		}
+		res, err := core.Run(scaffeConfig(spec, g, batch, iters))
+		if err != nil {
+			return nil, fmt.Errorf("figure8 @%d GPUs: %w", g, err)
+		}
+		if g == 32 {
+			sps32 = res.SamplesPerSec
+		}
+		if g == 160 {
+			sps160 = res.SamplesPerSec
+		}
+		speedup := "—"
+		if sps32 > 0 {
+			speedup = fmt.Sprintf("%.2fx", res.SamplesPerSec/sps32)
+		}
+		t.AddRow(fmt.Sprint(g), fmt.Sprint(batch), caffe, scl,
+			res.TimePerIter().String(), fmt.Sprintf("%.0f", res.SamplesPerSec), speedup)
+	}
+	if sps32 > 0 && sps160 > 0 {
+		t.Note("Paper: 2.5x speedup at 160 GPUs over 32 GPUs; measured %.2fx.", sps160/sps32)
+	}
+	t.Note("Paper: LMDB degrades past 64 parallel readers (S-Caffe-L column); ImageDataLayer on Lustre keeps scaling (S-Caffe column). Caffe is single-node only.")
+	return t, nil
+}
+
+// Figure9 regenerates the CIFAR10 quick-solver scaling study: batch
+// 8192 split over 1..64 GPUs (paper: 1000 iterations, ~32x speedup at
+// 64 GPUs; S-Caffe matches Caffe within a node since the model is
+// compute-bound).
+func Figure9(o Options) (*Table, error) {
+	spec, err := models.ByName("cifar10-quick")
+	if err != nil {
+		return nil, err
+	}
+	iters := o.iters(50)
+	gpus := o.cap([]int{1, 2, 4, 8, 16, 32, 64})
+	t := &Table{
+		ID:      "figure9",
+		Title:   "CIFAR10 quick solver, batch 8192, Cluster-A",
+		Columns: []string{"GPUs", "Caffe time/iter", "S-Caffe time/iter", "Speedup vs 1 GPU"},
+	}
+	var base sim.Duration
+	var last float64
+	for _, g := range gpus {
+		caffe := "—"
+		if g <= 16 {
+			cfg := scaffeConfig(spec, g, 8192, iters)
+			cfg.Design = core.CaffeMT
+			cfg.Reduce = coll.Binomial
+			cfg.Source = core.LMDBSource
+			cfg.Nodes, cfg.GPUsPerNode = 1, 16
+			if res, err := core.Run(cfg); err == nil {
+				caffe = res.TimePerIter().String()
+			}
+		}
+		cfg := scaffeConfig(spec, g, 8192, iters)
+		cfg.Source = core.LMDBSource // CIFAR10 fits LMDB comfortably at <=64 readers
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure9 @%d GPUs: %w", g, err)
+		}
+		if g == 1 {
+			base = res.TimePerIter()
+		}
+		sp := float64(base) / float64(res.TimePerIter())
+		last = sp
+		t.AddRow(fmt.Sprint(g), caffe, res.TimePerIter().String(), fmt.Sprintf("%.1fx", sp))
+	}
+	t.Note("Paper: ~32x speedup over 1 GPU at 64 GPUs; measured %.1fx. S-Caffe and Caffe stay close up to 16 GPUs (compute-bound model).", last)
+	return t, nil
+}
+
+// Figure10 regenerates the AlexNet samples-per-second comparison on
+// Cluster-B: S-Caffe vs the CNTK-like host-staged MPI framework vs the
+// Inspur-style parameter server (which only runs between 2 and 16
+// GPUs; the paper could only collect its 2- and 4-GPU points).
+func Figure10(o Options) (*Table, error) {
+	spec := models.AlexNet()
+	iters := o.iters(10)
+	gpus := o.cap([]int{1, 2, 4, 8, 16})
+	t := &Table{
+		ID:      "figure10",
+		Title:   "AlexNet samples/sec on Cluster-B (higher is better)",
+		Columns: []string{"GPUs", "S-Caffe SPS", "CNTK SPS", "Inspur-Caffe SPS"},
+	}
+	var sc16, cntk16 float64
+	for _, g := range gpus {
+		batch := 64 * g
+		mk := func(d core.Design, red coll.Algorithm) core.Config {
+			return core.Config{
+				Spec: spec, GPUs: g, Nodes: 20, GPUsPerNode: 2,
+				GlobalBatch: batch, Iterations: iters,
+				Design: d, Reduce: red, Source: core.LMDBSource, Seed: 1,
+			}
+		}
+		res, err := core.Run(mk(core.SCOBR, coll.Tuned))
+		if err != nil {
+			return nil, fmt.Errorf("figure10 s-caffe @%d: %w", g, err)
+		}
+		sc := res.SamplesPerSec
+		cntk := "—"
+		if g > 1 {
+			if r2, err := core.Run(mk(core.CNTKLike, coll.Binomial)); err == nil {
+				cntk = fmt.Sprintf("%.0f", r2.SamplesPerSec)
+				if g == 16 {
+					cntk16 = r2.SamplesPerSec
+				}
+			}
+		} else {
+			cntk = fmt.Sprintf("%.0f", sc) // single GPU: no communication
+		}
+		ps := "—"
+		if g == 2 || g == 4 {
+			cfg := mk(core.ParamServer, coll.Binomial)
+			cfg.GPUs = g + 1 // one extra rank serves
+			cfg.GlobalBatch = batch
+			if r3, err := core.Run(cfg); err == nil {
+				ps = fmt.Sprintf("%.0f", r3.SamplesPerSec)
+			}
+		}
+		if g == 16 {
+			sc16 = sc
+		}
+		t.AddRow(fmt.Sprint(g), fmt.Sprintf("%.0f", sc), cntk, ps)
+	}
+	if cntk16 > 0 {
+		t.Note("Paper: S-Caffe reaches ~1395 SPS at 16 GPUs, comparable to CNTK; measured ratio S-Caffe/CNTK = %.2f.", sc16/cntk16)
+	}
+	t.Note("Inspur-Caffe rows appear only at 2 and 4 GPUs: the parameter-server design needs >=2 GPUs and hangs beyond 16 (Section 6.4).")
+	return t, nil
+}

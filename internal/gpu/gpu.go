@@ -1,0 +1,128 @@
+// Package gpu models a CUDA device at the fidelity the S-Caffe
+// co-designs require: device-memory accounting, a compute stream and a
+// communication/reduction stream that run concurrently, a kernel cost
+// model driven by FLOP counts, and device buffers that optionally
+// carry real float32 payloads so reductions can be verified
+// numerically.
+package gpu
+
+import (
+	"fmt"
+
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// Device is one simulated CUDA device.
+type Device struct {
+	K  *sim.Kernel
+	ID topology.DeviceID
+	// Compute serializes training kernels (forward/backward layers).
+	Compute *sim.Resource
+	// Comm serializes reduction/pack kernels; it runs concurrently
+	// with Compute, as two CUDA streams would.
+	Comm *sim.Resource
+
+	p        topology.Params
+	slowdown float64 // >1 stretches every kernel (straggler modeling)
+	memUsed  int64
+	memCap   int64
+	launches int64
+}
+
+// NewDevice creates a device of cluster c for topology slot id.
+// K-80-era devices expose 12 GB per GK210.
+func NewDevice(c *topology.Cluster, id topology.DeviceID) *Device {
+	return &Device{
+		K:       c.K,
+		ID:      id,
+		Compute: c.K.NewResource(fmt.Sprintf("%v.compute", id)),
+		Comm:    c.K.NewResource(fmt.Sprintf("%v.comm", id)),
+		p:       c.P,
+		memCap:  12 << 30,
+	}
+}
+
+// SetMemCapacity overrides the device-memory capacity in bytes.
+func (d *Device) SetMemCapacity(bytes int64) { d.memCap = bytes }
+
+// SetSlowdown stretches every kernel on this device by factor ≥ 1,
+// modeling a persistent straggler (thermal throttling, a shared K-80
+// sibling, OS noise). Factor 1 restores nominal speed.
+func (d *Device) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.slowdown = factor
+}
+
+func (d *Device) scale(t sim.Duration) sim.Duration {
+	if d.slowdown > 1 {
+		return sim.Duration(float64(t) * d.slowdown)
+	}
+	return t
+}
+
+// MemUsed returns the bytes currently allocated on the device.
+func (d *Device) MemUsed() int64 { return d.memUsed }
+
+// MemCapacity returns the device-memory capacity in bytes.
+func (d *Device) MemCapacity() int64 { return d.memCap }
+
+// Launches returns the number of kernels launched so far (for tests
+// and utilization reports).
+func (d *Device) Launches() int64 { return d.launches }
+
+// ErrOutOfMemory is returned by Alloc when a buffer does not fit. It
+// reproduces the "solver ran out of memory" missing data points of
+// Figure 8.
+type ErrOutOfMemory struct {
+	Dev       topology.DeviceID
+	Requested int64
+	Free      int64
+}
+
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("gpu %v: out of memory: requested %d bytes, %d free", e.Dev, e.Requested, e.Free)
+}
+
+// Alloc reserves bytes of device memory.
+func (d *Device) Alloc(bytes int64) error {
+	if d.memUsed+bytes > d.memCap {
+		return &ErrOutOfMemory{Dev: d.ID, Requested: bytes, Free: d.memCap - d.memUsed}
+	}
+	d.memUsed += bytes
+	return nil
+}
+
+// Free releases bytes of device memory.
+func (d *Device) Free(bytes int64) {
+	d.memUsed -= bytes
+	if d.memUsed < 0 {
+		d.memUsed = 0
+	}
+}
+
+// KernelTime converts a FLOP count into a kernel duration using the
+// device's sustained throughput plus launch latency.
+func (d *Device) KernelTime(flops float64) sim.Duration {
+	if flops <= 0 {
+		return d.p.KernelLaunch
+	}
+	return d.p.KernelLaunch + sim.Duration(flops/(d.p.GPUGflops*1e9)*float64(sim.Second))
+}
+
+// LaunchCompute enqueues a kernel of the given FLOP cost on the
+// compute stream no earlier than `at`, returning its span.
+func (d *Device) LaunchCompute(at sim.Time, flops float64) (start, end sim.Time) {
+	d.launches++
+	return d.Compute.Reserve(at, d.scale(d.KernelTime(flops)))
+}
+
+// LaunchReduce enqueues a reduction kernel combining `bytes` of one
+// operand on the comm stream, returning its span.
+func (d *Device) LaunchReduce(at sim.Time, bytes int64) (start, end sim.Time) {
+	d.launches++
+	dur := d.p.KernelLaunch + sim.Duration(float64(bytes)/d.p.GPUReduceBW*float64(sim.Second))
+	return d.Comm.Reserve(at, d.scale(dur))
+}

@@ -1,0 +1,88 @@
+// Package layers implements Caffe-style neural-network layers with two
+// faces: a real-compute face (actual float32 forward/backward math,
+// used by correctness tests and small-model training) and a cost-model
+// face (parameter counts and FLOP counts, used by the simulated
+// training engine for paper-scale models). The per-layer parameter
+// geometry is what drives S-Caffe's multi-stage communication, so it
+// matches the original networks exactly.
+package layers
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scaffe/internal/tensor"
+)
+
+// Shape is the per-sample activation shape in CHW order.
+type Shape struct {
+	C, H, W int
+}
+
+// Elems returns C*H*W.
+func (s Shape) Elems() int { return s.C * s.H * s.W }
+
+func (s Shape) String() string { return fmt.Sprintf("%dx%dx%d", s.C, s.H, s.W) }
+
+// Layer is one computational layer. Setup must be called before
+// Forward/Backward; the cost-model methods (ParamElems, FwdFLOPs,
+// BwdFLOPs, OutShape) are usable on an un-setup layer given an input
+// shape.
+type Layer interface {
+	// Name returns the layer's instance name (e.g. "conv1").
+	Name() string
+	// Kind returns the layer type (e.g. "Convolution").
+	Kind() string
+	// OutShape returns the output shape for an input shape.
+	OutShape(in Shape) Shape
+	// ParamElems returns the number of learnable parameters given the
+	// input shape (weights + biases).
+	ParamElems(in Shape) int
+	// FwdFLOPs returns the forward-pass FLOPs for one sample.
+	FwdFLOPs(in Shape) float64
+	// BwdFLOPs returns the backward-pass FLOPs for one sample.
+	BwdFLOPs(in Shape) float64
+
+	// Setup binds the layer to an input shape and batch size,
+	// allocating parameters (initialized from rng) and buffers.
+	Setup(in Shape, batch int, rng *rand.Rand)
+	// Forward computes the layer output for a batch input of shape
+	// (batch, in.C, in.H, in.W).
+	Forward(in *tensor.Tensor) *tensor.Tensor
+	// Backward consumes dLoss/dOut and returns dLoss/dIn, accumulating
+	// parameter gradients. It must be called after Forward.
+	Backward(gradOut *tensor.Tensor) *tensor.Tensor
+	// Params returns the learnable tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns the gradient tensors matching Params.
+	Grads() []*tensor.Tensor
+}
+
+// base carries the bookkeeping every layer shares.
+type base struct {
+	name  string
+	in    Shape
+	batch int
+}
+
+func (b *base) Name() string { return b.name }
+
+func (b *base) setup(in Shape, batch int) {
+	b.in = in
+	b.batch = batch
+}
+
+func (b *base) checkIn(t *tensor.Tensor) {
+	want := b.batch * b.in.Elems()
+	if t.Len() != want {
+		panic(fmt.Sprintf("layers: %s input has %d elements, want %d (batch %d x %v)",
+			b.name, t.Len(), want, b.batch, b.in))
+	}
+}
+
+// noParams is embedded by parameter-free layers.
+type noParams struct{}
+
+func (noParams) ParamElems(Shape) int     { return 0 }
+func (noParams) Params() []*tensor.Tensor { return nil }
+func (noParams) Grads() []*tensor.Tensor  { return nil }

@@ -1,0 +1,214 @@
+// Package lmdb implements a small embedded key-value store in the
+// role LMDB plays for Caffe: an ordered, CRC-checked, read-optimized
+// record file built once and then read by many data-reader threads.
+// Writes go through a Writer (single-writer, like LMDB); reads are
+// concurrency-safe (ReadAt + immutable in-memory index).
+//
+// The store is functionally real. The *scalability* behaviour the
+// paper reports for LMDB (it "does not scale for more than 64 parallel
+// readers", Section 6.3) is a property of reader-slot contention and
+// is modeled in package data's LMDBSource, which wraps this store in
+// the discrete-event world.
+package lmdb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+var magic = []byte("SLMDB1\n")
+
+// Writer builds a store file. Keys may be inserted in any order; the
+// index is sorted at Close.
+type Writer struct {
+	f     *os.File
+	off   int64
+	index []indexEntry
+	keys  map[string]bool
+}
+
+type indexEntry struct {
+	key  string
+	off  int64
+	vlen uint32
+}
+
+// Create opens a new store file for writing, truncating any existing
+// file.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("lmdb: create: %w", err)
+	}
+	n, err := f.Write(magic)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lmdb: write header: %w", err)
+	}
+	return &Writer{f: f, off: int64(n), keys: make(map[string]bool)}, nil
+}
+
+// Put appends one record. Duplicate keys are rejected.
+func (w *Writer) Put(key, val []byte) error {
+	if w.keys[string(key)] {
+		return fmt.Errorf("lmdb: duplicate key %q", key)
+	}
+	w.keys[string(key)] = true
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(val)))
+	crc := crc32.ChecksumIEEE(key)
+	crc = crc32.Update(crc, crc32.IEEETable, val)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+
+	recOff := w.off
+	for _, chunk := range [][]byte{hdr[:], key, val, tail[:]} {
+		n, err := w.f.Write(chunk)
+		if err != nil {
+			return fmt.Errorf("lmdb: write record: %w", err)
+		}
+		w.off += int64(n)
+	}
+	w.index = append(w.index, indexEntry{key: string(key), off: recOff, vlen: uint32(len(val))})
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int { return len(w.index) }
+
+// Close sorts and writes the index and footer, then closes the file.
+func (w *Writer) Close() error {
+	sort.Slice(w.index, func(i, j int) bool { return w.index[i].key < w.index[j].key })
+	indexOff := w.off
+	var buf bytes.Buffer
+	var tmp [12]byte
+	binary.LittleEndian.PutUint32(tmp[:4], uint32(len(w.index)))
+	buf.Write(tmp[:4])
+	for _, e := range w.index {
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(e.key)))
+		buf.Write(tmp[:4])
+		buf.WriteString(e.key)
+		binary.LittleEndian.PutUint64(tmp[:8], uint64(e.off))
+		binary.LittleEndian.PutUint32(tmp[8:12], e.vlen)
+		buf.Write(tmp[:12])
+	}
+	binary.LittleEndian.PutUint64(tmp[:8], uint64(indexOff))
+	buf.Write(tmp[:8])
+	buf.Write(magic)
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
+		w.f.Close()
+		return fmt.Errorf("lmdb: write index: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Reader provides concurrent random access to a store file.
+type Reader struct {
+	f     *os.File
+	index map[string]indexEntry
+	keys  []string // sorted
+}
+
+// Open loads a store's index for reading.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lmdb: open: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lmdb: stat: %w", err)
+	}
+	foot := make([]byte, 8+len(magic))
+	if st.Size() < int64(len(foot)+len(magic)) {
+		f.Close()
+		return nil, fmt.Errorf("lmdb: %s: file too short", path)
+	}
+	if _, err := f.ReadAt(foot, st.Size()-int64(len(foot))); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lmdb: read footer: %w", err)
+	}
+	if !bytes.Equal(foot[8:], magic) {
+		f.Close()
+		return nil, fmt.Errorf("lmdb: %s: bad footer magic", path)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(foot[:8]))
+	indexLen := st.Size() - int64(len(foot)) - indexOff
+	if indexOff < int64(len(magic)) || indexLen < 4 {
+		f.Close()
+		return nil, fmt.Errorf("lmdb: %s: corrupt index offset", path)
+	}
+	raw := make([]byte, indexLen)
+	if _, err := f.ReadAt(raw, indexOff); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lmdb: read index: %w", err)
+	}
+	r := &Reader{f: f, index: make(map[string]indexEntry)}
+	n := int(binary.LittleEndian.Uint32(raw[:4]))
+	p := 4
+	for i := 0; i < n; i++ {
+		if p+4 > len(raw) {
+			f.Close()
+			return nil, fmt.Errorf("lmdb: %s: truncated index", path)
+		}
+		kl := int(binary.LittleEndian.Uint32(raw[p:]))
+		p += 4
+		if p+kl+12 > len(raw) {
+			f.Close()
+			return nil, fmt.Errorf("lmdb: %s: truncated index entry", path)
+		}
+		key := string(raw[p : p+kl])
+		p += kl
+		off := int64(binary.LittleEndian.Uint64(raw[p:]))
+		vlen := binary.LittleEndian.Uint32(raw[p+8:])
+		p += 12
+		r.index[key] = indexEntry{key: key, off: off, vlen: vlen}
+		r.keys = append(r.keys, key)
+	}
+	return r, nil
+}
+
+// Len returns the number of records.
+func (r *Reader) Len() int { return len(r.keys) }
+
+// KeyAt returns the i-th key in sorted order (cursor-style access).
+func (r *Reader) KeyAt(i int) string { return r.keys[i] }
+
+// Get returns the value for key, verifying the record checksum.
+func (r *Reader) Get(key string) ([]byte, error) {
+	e, ok := r.index[key]
+	if !ok {
+		return nil, fmt.Errorf("lmdb: key %q not found", key)
+	}
+	hdr := make([]byte, 8)
+	if _, err := r.f.ReadAt(hdr, e.off); err != nil {
+		return nil, fmt.Errorf("lmdb: read record header: %w", err)
+	}
+	kl := binary.LittleEndian.Uint32(hdr[0:])
+	vl := binary.LittleEndian.Uint32(hdr[4:])
+	if int(kl) != len(key) || vl != e.vlen {
+		return nil, fmt.Errorf("lmdb: record/index mismatch for %q", key)
+	}
+	body := make([]byte, int(kl)+int(vl)+4)
+	if _, err := io.ReadFull(io.NewSectionReader(r.f, e.off+8, int64(len(body))), body); err != nil {
+		return nil, fmt.Errorf("lmdb: read record body: %w", err)
+	}
+	crc := crc32.ChecksumIEEE(body[:kl+vl])
+	want := binary.LittleEndian.Uint32(body[kl+vl:])
+	if crc != want {
+		return nil, fmt.Errorf("lmdb: checksum mismatch for %q", key)
+	}
+	val := make([]byte, vl)
+	copy(val, body[kl:kl+vl])
+	return val, nil
+}
+
+// Close releases the file handle.
+func (r *Reader) Close() error { return r.f.Close() }

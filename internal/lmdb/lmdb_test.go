@@ -1,0 +1,262 @@
+package lmdb
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func buildStore(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.slmdb")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%08d", i)
+		val := bytes.Repeat([]byte{byte(i)}, 100+i%7)
+		if err := w.Put([]byte(key), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != n {
+		t.Fatalf("Count = %d, want %d", w.Count(), n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	path := buildStore(t, 50)
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 50 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("%08d", i)
+		val, err := r.Get(key)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		want := bytes.Repeat([]byte{byte(i)}, 100+i%7)
+		if !bytes.Equal(val, want) {
+			t.Fatalf("Get(%s) = %d bytes, want %d", key, len(val), len(want))
+		}
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "o.slmdb")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"zebra", "apple", "mango"} {
+		if err := w.Put([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	want := []string{"apple", "mango", "zebra"}
+	for i, k := range want {
+		if r.KeyAt(i) != k {
+			t.Fatalf("KeyAt(%d) = %q, want %q (cursor order)", i, r.KeyAt(i), k)
+		}
+	}
+}
+
+func TestDuplicateKeyRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.slmdb")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Put([]byte("k"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Put([]byte("k"), []byte("2")); err == nil {
+		t.Error("duplicate key accepted")
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	r, err := Open(buildStore(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Get("nope"); err == nil {
+		t.Error("missing key returned no error")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	// The real LMDB property we rely on: many goroutines reading one
+	// environment concurrently and safely.
+	r, err := Open(buildStore(t, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := r.KeyAt((i*7 + g) % r.Len())
+				if _, err := r.Get(key); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	path := buildStore(t, 5)
+	// Flip a byte inside the first record's value.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err) // index is at the end, still intact
+	}
+	defer r.Close()
+	if _, err := r.Get("00000000"); err == nil {
+		t.Error("corrupted record passed checksum")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a store at all, definitely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("garbage file opened without error")
+	}
+	short := filepath.Join(t.TempDir(), "short")
+	if err := os.WriteFile(short, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short); err == nil {
+		t.Error("too-short file opened without error")
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.slmdb")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != 0 {
+		t.Errorf("empty store Len = %d", r.Len())
+	}
+}
+
+func TestCorruptIndexOffsetRejected(t *testing.T) {
+	path := buildStore(t, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The footer is [indexOff:8][magic:7]; point indexOff past EOF.
+	footStart := len(raw) - 8 - len([]byte("SLMDB1\n"))
+	for i := 0; i < 8; i++ {
+		raw[footStart+i] = 0xFF
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("corrupt index offset accepted")
+	}
+}
+
+func TestTruncatedIndexRejected(t *testing.T) {
+	path := buildStore(t, 10)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim more index entries than exist: bump the count field. The
+	// index starts at indexOff; its first 4 bytes are the count.
+	footStart := len(raw) - 8 - len([]byte("SLMDB1\n"))
+	indexOff := int(uint64(raw[footStart]) | uint64(raw[footStart+1])<<8 |
+		uint64(raw[footStart+2])<<16 | uint64(raw[footStart+3])<<24)
+	raw[indexOff] = 200 // count = 200 > 10
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Error("truncated index accepted")
+	}
+}
+
+func TestLargeValuesRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.slmdb")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xAB}, 1<<20)
+	if err := w.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	val, err := r.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(val, big) {
+		t.Error("1MB value corrupted")
+	}
+}

@@ -1,0 +1,70 @@
+package models
+
+import "scaffe/internal/layers"
+
+// This file adds the other DNNs the paper's introduction motivates
+// (VGG and Network-in-Network): heavier-weight models that stress the
+// communication runtime even further than AlexNet (VGG's gradient
+// buffer is ~528 MB — past the 256 MB upper end of Figures 11–12).
+
+// VGG16 returns the cost-model spec of VGG-16 (configuration D):
+// ~138.3M parameters.
+func VGG16() *Spec {
+	b := newSpecBuilder("vgg16", layers.Shape{C: 3, H: 224, W: 224})
+	block := func(stage int, convs, outC int) {
+		for i := 1; i <= convs; i++ {
+			b.conv(convName(stage, i), outC, 3, 1, 1, 1)
+			b.relu(convName(stage, i) + "/relu")
+		}
+		b.pool(poolName(stage), 2, 2, 0, false)
+	}
+	block(1, 2, 64)
+	block(2, 2, 128)
+	block(3, 3, 256)
+	block(4, 3, 512)
+	block(5, 3, 512)
+	b.fc("fc6", 4096)
+	b.relu("relu6")
+	b.dropout("drop6")
+	b.fc("fc7", 4096)
+	b.relu("relu7")
+	b.dropout("drop7")
+	b.fc("fc8", 1000)
+	b.softmax("loss")
+	return b.s
+}
+
+func convName(stage, i int) string {
+	return "conv" + digits(stage) + "_" + digits(i)
+}
+
+func poolName(stage int) string { return "pool" + digits(stage) }
+
+func digits(v int) string { return string(rune('0' + v)) }
+
+// NetworkInNetwork returns the cost-model spec of NiN (the ImageNet
+// variant): ~7.6M parameters, convolution-only with global average
+// pooling.
+func NetworkInNetwork() *Spec {
+	b := newSpecBuilder("nin", layers.Shape{C: 3, H: 227, W: 227})
+	mlpconv := func(name string, outC, k, stride, pad, cccp1, cccp2 int) {
+		b.conv(name, outC, k, stride, pad, 1)
+		b.relu(name + "/relu")
+		b.conv(name+"/cccp1", cccp1, 1, 1, 0, 1)
+		b.relu(name + "/cccp1/relu")
+		b.conv(name+"/cccp2", cccp2, 1, 1, 0, 1)
+		b.relu(name + "/cccp2/relu")
+	}
+	mlpconv("conv1", 96, 11, 4, 0, 96, 96)
+	b.pool("pool1", 3, 2, 0, false)
+	mlpconv("conv2", 256, 5, 1, 2, 256, 256)
+	b.pool("pool2", 3, 2, 0, false)
+	mlpconv("conv3", 384, 3, 1, 1, 384, 384)
+	b.pool("pool3", 3, 2, 0, false)
+	b.dropout("drop")
+	mlpconv("conv4", 1024, 3, 1, 1, 1024, 1000)
+	// Global average pooling over the final 6x6 maps.
+	b.pool("pool4", 6, 1, 0, true)
+	b.softmax("loss")
+	return b.s
+}

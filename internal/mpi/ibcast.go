@@ -1,0 +1,200 @@
+package mpi
+
+import (
+	"fmt"
+
+	"scaffe/internal/gpu"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// The Ibcast engine models MPI-3 non-blocking broadcast with
+// network/hardware offload: once every participating rank has posted
+// its call, data moves down a binomial tree driven entirely by kernel
+// callbacks — the rank processes keep computing, which is what gives
+// SC-OB its overlap. Matching across ranks follows MPI semantics:
+// the i-th Ibcast call on a communicator at every rank belongs to the
+// same operation.
+
+type bcastKey struct {
+	comm int
+	seq  int
+}
+
+type bcastOp struct {
+	c     *Comm
+	key   bcastKey
+	root  int // group rank
+	bytes int64
+	mode  topology.TransferMode
+
+	posted  []bool
+	postBuf []*gpu.Buffer
+	ready   []bool
+	readyAt []sim.Time
+	reqs    []*Request
+
+	rootSends     int // children edges not yet scheduled from the root
+	rootLastSend  sim.Time
+	rootCompleted bool
+}
+
+// Ibcast posts this rank's participation in a non-blocking broadcast
+// rooted at group rank `root` of comm c. On the root, buf supplies the
+// data; elsewhere it receives it. The returned request completes when
+// this rank's buffer is ready for reuse (root: all its tree sends
+// done; non-root: data arrived).
+func (r *Rank) Ibcast(c *Comm, root int, buf *gpu.Buffer, mode topology.TransferMode) *Request {
+	me := c.Rank(r)
+	key := bcastKey{comm: c.id, seq: c.bcastSeq[me]}
+	c.bcastSeq[me]++
+
+	op := r.W.bcastOps[key]
+	if op == nil {
+		n := c.Size()
+		op = &bcastOp{
+			c:       c,
+			key:     key,
+			root:    root,
+			bytes:   buf.Bytes,
+			mode:    mode,
+			posted:  make([]bool, n),
+			postBuf: make([]*gpu.Buffer, n),
+			ready:   make([]bool, n),
+			readyAt: make([]sim.Time, n),
+			reqs:    make([]*Request, n),
+		}
+		r.W.bcastOps[key] = op
+	}
+	if op.root != root {
+		panic(fmt.Sprintf("mpi: Ibcast root mismatch on comm %d op %d: %d vs %d", c.id, key.seq, op.root, root))
+	}
+	if op.bytes != buf.Bytes {
+		panic(fmt.Sprintf("mpi: Ibcast size mismatch on comm %d op %d: %d vs %d bytes", c.id, key.seq, op.bytes, buf.Bytes))
+	}
+
+	req := &Request{Done: r.W.K.NewCompletion(), buf: buf}
+	op.posted[me] = true
+	op.postBuf[me] = buf
+	op.reqs[me] = req
+
+	if me == root {
+		op.rootSends = len(op.children(root))
+		op.markReady(r.W, me, r.Now())
+		if op.rootSends == 0 {
+			req.Done.Fire()
+			op.rootCompleted = true
+		}
+	} else {
+		// A newly posted child may unblock a ready parent's edge.
+		parent := op.parent(me)
+		if op.ready[parent] {
+			op.scheduleEdge(r.W, parent, me)
+		}
+	}
+	if op.complete() {
+		delete(r.W.bcastOps, key)
+	}
+	return req
+}
+
+// Bcast is the blocking broadcast: Ibcast + Wait.
+func (r *Rank) Bcast(c *Comm, root int, buf *gpu.Buffer, mode topology.TransferMode) {
+	r.Wait(r.Ibcast(c, root, buf, mode))
+}
+
+// relative converts a group rank to root-relative order.
+func (op *bcastOp) relative(groupRank int) int {
+	n := op.c.Size()
+	return (groupRank - op.root + n) % n
+}
+
+func (op *bcastOp) absolute(rel int) int {
+	n := op.c.Size()
+	return (rel + op.root) % n
+}
+
+// parent returns the binomial-tree parent of a non-root group rank.
+func (op *bcastOp) parent(groupRank int) int {
+	rel := op.relative(groupRank)
+	for mask := 1; mask < op.c.Size(); mask <<= 1 {
+		if rel&mask != 0 {
+			return op.absolute(rel - mask)
+		}
+	}
+	panic("mpi: bcast parent of root")
+}
+
+// children returns the binomial-tree children of a group rank, in the
+// send order MPI uses (largest subtree first).
+func (op *bcastOp) children(groupRank int) []int {
+	n := op.c.Size()
+	rel := op.relative(groupRank)
+	mask := 1
+	for mask < n {
+		if rel&mask != 0 {
+			break
+		}
+		mask <<= 1
+	}
+	var kids []int
+	for m := mask >> 1; m > 0; m >>= 1 {
+		if rel+m < n {
+			kids = append(kids, op.absolute(rel+m))
+		}
+	}
+	return kids
+}
+
+// markReady records that a rank's buffer holds the data as of time t
+// and schedules edges to every already-posted child.
+func (op *bcastOp) markReady(w *World, groupRank int, t sim.Time) {
+	op.ready[groupRank] = true
+	op.readyAt[groupRank] = t
+	for _, child := range op.children(groupRank) {
+		if op.posted[child] {
+			op.scheduleEdge(w, groupRank, child)
+		}
+	}
+}
+
+// scheduleEdge books the parent->child transfer (parent data and child
+// buffer are both available) and wires up delivery.
+func (op *bcastOp) scheduleEdge(w *World, parent, child int) {
+	from := op.c.rankAt(parent)
+	to := op.c.rankAt(child)
+	at := op.readyAt[parent]
+	if pt := w.K.Now(); pt > at {
+		at = pt
+	}
+	_, end := w.Cluster.Transfer(at, from.Dev.ID, to.Dev.ID, op.bytes, op.mode)
+	isRootEdge := parent == op.root
+	w.K.At(end, func() {
+		if src, dst := op.postBuf[parent], op.postBuf[child]; src != nil && dst != nil {
+			dst.CopyFrom(src)
+		}
+		op.reqs[child].Done.Fire()
+		op.markReady(w, child, w.K.Now())
+		if isRootEdge {
+			op.rootSends--
+			if op.rootSends == 0 && !op.rootCompleted {
+				op.rootCompleted = true
+				op.reqs[op.root].Done.Fire()
+			}
+		}
+		if op.complete() {
+			delete(w.bcastOps, op.key)
+		}
+	})
+}
+
+// complete reports whether every rank has posted and every request has
+// fired, so the op record can be reclaimed.
+func (op *bcastOp) complete() bool {
+	for i := range op.posted {
+		if !op.posted[i] || op.reqs[i] == nil || !op.reqs[i].Done.Fired() {
+			return false
+		}
+	}
+	return true
+}

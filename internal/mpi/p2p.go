@@ -1,0 +1,159 @@
+package mpi
+
+import (
+	"fmt"
+
+	"scaffe/internal/gpu"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// EagerLimit is the message size up to which sends complete locally
+// without waiting for the receiver (eager protocol); larger messages
+// use rendezvous and complete only when the transfer finishes.
+const EagerLimit = 64 << 10
+
+type matchKey struct {
+	comm int
+	src  int // world rank of the sender
+	tag  int
+}
+
+type pendingSend struct {
+	from   *Rank
+	buf    *gpu.Buffer
+	mode   topology.TransferMode
+	sentAt sim.Time
+	req    *Request
+}
+
+// Request tracks a non-blocking operation. Done fires when the
+// operation completes (buffer reusable for sends, data delivered for
+// receives).
+type Request struct {
+	Done *sim.Completion
+	buf  *gpu.Buffer
+	// deferred, when non-nil, is executed inside Wait — used for
+	// CPU-progressed operations like Ireduce.
+	deferred func()
+}
+
+// Wait blocks the rank until the request completes. For deferred
+// (CPU-progressed) requests this is where all the work happens.
+func (r *Rank) Wait(req *Request) {
+	if req.deferred != nil {
+		fn := req.deferred
+		req.deferred = nil
+		fn()
+		req.Done.Fire()
+		return
+	}
+	r.Proc.Wait(req.Done)
+}
+
+// WaitAll waits for every request in order.
+func (r *Rank) WaitAll(reqs ...*Request) {
+	for _, req := range reqs {
+		r.Wait(req)
+	}
+}
+
+// Test reports whether the request has completed without blocking.
+// Deferred requests never complete under Test (CPU progression
+// requires Wait), which is exactly the paper's complaint about NBC
+// reductions.
+func (req *Request) Test() bool { return req.deferred == nil && req.Done.Fired() }
+
+// NewDeferredRequest creates a request whose work runs inside Wait.
+// Exposed for package coll's CPU-progressed Ireduce.
+func (r *Rank) NewDeferredRequest(fn func()) *Request {
+	return &Request{Done: r.W.K.NewCompletion(), deferred: fn}
+}
+
+// Isend starts a non-blocking send of buf to group rank `to` of comm c
+// with the given tag.
+func (r *Rank) Isend(c *Comm, to, tag int, buf *gpu.Buffer, mode topology.TransferMode) *Request {
+	dst := c.rankAt(to)
+	if dst == r {
+		panic(fmt.Sprintf("mpi: rank %d sending to itself (comm %d tag %d)", r.ID, c.id, tag))
+	}
+	req := &Request{Done: r.W.K.NewCompletion(), buf: buf}
+	key := matchKey{comm: c.id, src: r.ID, tag: tag}
+
+	if posted := dst.posted[key]; len(posted) > 0 {
+		recvReq := posted[0]
+		dst.posted[key] = posted[1:]
+		r.startTransfer(r.Now(), dst, buf, recvReq, req, mode)
+		return req
+	}
+	ps := &pendingSend{from: r, buf: buf, mode: mode, sentAt: r.Now(), req: req}
+	dst.unexpected[key] = append(dst.unexpected[key], ps)
+	if buf.Bytes <= EagerLimit {
+		// Eager: the payload leaves the sender immediately; the send
+		// buffer is reusable right away.
+		req.Done.Fire()
+	}
+	return req
+}
+
+// Irecv posts a non-blocking receive into buf from group rank `from`
+// of comm c with the given tag.
+func (r *Rank) Irecv(c *Comm, from, tag int, buf *gpu.Buffer) *Request {
+	src := c.rankAt(from)
+	req := &Request{Done: r.W.K.NewCompletion(), buf: buf}
+	key := matchKey{comm: c.id, src: src.ID, tag: tag}
+
+	if unex := r.unexpected[key]; len(unex) > 0 {
+		ps := unex[0]
+		r.unexpected[key] = unex[1:]
+		// Eager data was already in flight since sentAt; rendezvous
+		// starts now that the receiver arrived.
+		start := r.Now()
+		if ps.buf.Bytes <= EagerLimit {
+			start = ps.sentAt
+		}
+		ps.from.startTransfer(start, r, ps.buf, req, ps.req, ps.mode)
+		return req
+	}
+	r.posted[key] = append(r.posted[key], req)
+	return req
+}
+
+// startTransfer books the wire time and schedules delivery: at the end
+// of the transfer the payload is copied and both requests complete.
+func (r *Rank) startTransfer(at sim.Time, dst *Rank, src *gpu.Buffer, recvReq, sendReq *Request, mode topology.TransferMode) {
+	if recvReq.buf.Bytes != src.Bytes {
+		panic(fmt.Sprintf("mpi: message size mismatch: send %d bytes, recv %d bytes", src.Bytes, recvReq.buf.Bytes))
+	}
+	_, end := r.W.Cluster.Transfer(at, r.Dev.ID, dst.Dev.ID, src.Bytes, mode)
+	if end < r.Now() {
+		end = r.Now()
+	}
+	k := r.W.K
+	k.At(end, func() {
+		recvReq.buf.CopyFrom(src)
+		recvReq.Done.Fire()
+		sendReq.Done.Fire()
+	})
+}
+
+// Send is a blocking send (Isend + Wait).
+func (r *Rank) Send(c *Comm, to, tag int, buf *gpu.Buffer, mode topology.TransferMode) {
+	r.Wait(r.Isend(c, to, tag, buf, mode))
+}
+
+// Recv is a blocking receive (Irecv + Wait).
+func (r *Rank) Recv(c *Comm, from, tag int, buf *gpu.Buffer) {
+	r.Wait(r.Irecv(c, from, tag, buf))
+}
+
+// SendHost / RecvHost move host-resident buffers (no GPU endpoints);
+// used by the non-CUDA-aware baselines.
+func (r *Rank) SendHost(c *Comm, to, tag int, buf *gpu.Buffer) {
+	r.Send(c, to, tag, buf, topology.ModeHost)
+}
+
+// RecvHost is the receiving half of SendHost.
+func (r *Rank) RecvHost(c *Comm, from, tag int, buf *gpu.Buffer) {
+	r.Recv(c, from, tag, buf)
+}

@@ -1,0 +1,158 @@
+package mpi
+
+import (
+	"testing"
+
+	"scaffe/internal/gpu"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// Second-round semantics tests: timing properties of the runtime that
+// the co-designs rely on, beyond basic correctness.
+
+func TestIbcastRootCompletesAfterItsSends(t *testing.T) {
+	// The root's request must not fire before its direct tree sends
+	// finish (it may not reuse the buffer earlier); and for a large
+	// buffer that completion is meaningfully later than the post.
+	w := newWorld(t, 4, 1, 4)
+	c := w.WorldComm()
+	var rootDone, posted sim.Time
+	_, err := w.Run(func(r *Rank) {
+		buf := gpu.NewBuffer(32 << 20)
+		req := r.Ibcast(c, 0, buf, topology.ModeAuto)
+		if r.ID == 0 {
+			posted = r.Now()
+		}
+		r.Wait(req)
+		if r.ID == 0 {
+			rootDone = r.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rootDone <= posted {
+		t.Errorf("root Ibcast completed instantly (%v); must wait for its sends", rootDone)
+	}
+}
+
+func TestIbcastLeafLatencyGrowsWithDepth(t *testing.T) {
+	// Binomial delivery: a deeper leaf receives later than the root's
+	// first child.
+	w := newWorld(t, 8, 1, 8)
+	c := w.WorldComm()
+	arrivals := make([]sim.Time, 8)
+	_, err := w.Run(func(r *Rank) {
+		buf := gpu.NewBuffer(8 << 20)
+		r.Wait(r.Ibcast(c, 0, buf, topology.ModeAuto))
+		arrivals[r.ID] = r.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 4 is a direct child; rank 7 is at depth 3 (4 -> 6 -> 7).
+	if arrivals[7] <= arrivals[4] {
+		t.Errorf("depth-3 leaf (%v) should receive after the depth-1 child (%v)", arrivals[7], arrivals[4])
+	}
+}
+
+func TestTwoCommsAreIndependentTagSpaces(t *testing.T) {
+	// The same tag on two communicators must not cross-match.
+	w := newWorld(t, 2, 2, 4)
+	world := w.WorldComm()
+	sub1 := world.Sub([]int{0, 1})
+	sub2 := world.Sub([]int{2, 3})
+	var got1, got2 float32
+	_, err := w.Run(func(r *Rank) {
+		switch r.ID {
+		case 0:
+			r.Send(sub1, 1, 5, gpu.WrapData([]float32{10}), topology.ModeAuto)
+		case 1:
+			buf := gpu.NewDataBuffer(1)
+			r.Recv(sub1, 0, 5, buf)
+			got1 = buf.Data[0]
+		case 2:
+			r.Send(sub2, 1, 5, gpu.WrapData([]float32{20}), topology.ModeAuto)
+		case 3:
+			buf := gpu.NewDataBuffer(1)
+			r.Recv(sub2, 0, 5, buf)
+			got2 = buf.Data[0]
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 != 10 || got2 != 20 {
+		t.Errorf("cross-comm leakage: got %v and %v", got1, got2)
+	}
+}
+
+func TestIntraNodeFasterThanInterNodeMessage(t *testing.T) {
+	// Placement matters: IPC neighbors beat cross-node pipelining for
+	// the same payload.
+	elapsed := func(ranks func() (*World, int, int)) sim.Duration {
+		w, from, to := ranks()
+		c := w.WorldComm()
+		var done sim.Time
+		_, err := w.Run(func(r *Rank) {
+			buf := gpu.NewBuffer(16 << 20)
+			if r.ID == from {
+				r.Send(c, to, 1, buf, topology.ModeAuto)
+			} else if r.ID == to {
+				r.Recv(c, from, 1, gpu.NewBuffer(16<<20))
+				done = r.Now()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	intra := elapsed(func() (*World, int, int) { return newWorld(t, 1, 2, 2), 0, 1 })
+	inter := elapsed(func() (*World, int, int) { return newWorld(t, 2, 1, 2), 0, 1 })
+	if intra >= inter {
+		t.Errorf("intra-node message (%v) should beat inter-node (%v)", intra, inter)
+	}
+}
+
+func TestBarrierSingleRank(t *testing.T) {
+	w := newWorld(t, 1, 1, 1)
+	c := w.WorldComm()
+	_, err := w.Run(func(r *Rank) {
+		c.Barrier(r) // must not deadlock
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceAccessor(t *testing.T) {
+	w := newWorld(t, 2, 2, 4)
+	c := w.WorldComm()
+	d := c.Device(3)
+	if d.Node != 1 || d.Local != 1 {
+		t.Errorf("rank 3 device = %v, want n1g1", d)
+	}
+}
+
+func TestSpawnThreadSharesVirtualTime(t *testing.T) {
+	w := newWorld(t, 1, 1, 1)
+	var mainSaw, helperSaw sim.Time
+	_, err := w.Run(func(r *Rank) {
+		f := r.W.K.NewFlag()
+		r.SpawnThread("helper", func(p *sim.Proc) {
+			p.Sleep(7 * sim.Millisecond)
+			helperSaw = p.Now()
+			f.Set()
+		})
+		f.WaitSet(r.Proc)
+		mainSaw = r.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mainSaw != helperSaw || mainSaw != 7*sim.Millisecond {
+		t.Errorf("thread handshake at %v / %v, want 7ms", mainSaw, helperSaw)
+	}
+}

@@ -1,0 +1,99 @@
+// Package mpi implements the subset of CUDA-aware MPI that S-Caffe
+// co-designs against, on top of the discrete-event simulator: ranks
+// with tag-matched point-to-point messaging (blocking and
+// non-blocking), communicators with sub-grouping, and a
+// hardware-offloaded non-blocking broadcast engine (MPI_Ibcast).
+//
+// Two runtime asymmetries from the paper are reproduced faithfully:
+//
+//   - Ibcast progresses asynchronously (network-offloaded) without the
+//     rank's thread, so it genuinely overlaps with compute.
+//   - Ireduce is CPU-progressed: it makes no progress until Wait, so a
+//     naive non-blocking reduce pipeline yields no overlap (Section
+//     4.2 of the paper). See package coll for the Ireduce shim.
+package mpi
+
+import (
+	"fmt"
+
+	"scaffe/internal/gpu"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// World owns every rank of one simulated MPI job.
+type World struct {
+	K       *sim.Kernel
+	Cluster *topology.Cluster
+	Ranks   []*Rank
+
+	nextCommID int
+	bcastOps   map[bcastKey]*bcastOp
+}
+
+// NewWorld creates an n-rank world on cluster c, one rank per CUDA
+// device in block placement order.
+func NewWorld(c *topology.Cluster, n int) *World {
+	if n > c.TotalGPUs() {
+		panic(fmt.Sprintf("mpi: %d ranks requested but cluster has %d GPUs", n, c.TotalGPUs()))
+	}
+	w := &World{K: c.K, Cluster: c, bcastOps: make(map[bcastKey]*bcastOp)}
+	for i := 0; i < n; i++ {
+		w.Ranks = append(w.Ranks, &Rank{
+			W:          w,
+			ID:         i,
+			Dev:        gpu.NewDevice(c, c.DeviceForRank(i)),
+			posted:     make(map[matchKey][]*Request),
+			unexpected: make(map[matchKey][]*pendingSend),
+		})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.Ranks) }
+
+// Spawn starts every rank's main function as a simulated process. The
+// caller then drives the kernel with K.Run().
+func (w *World) Spawn(main func(r *Rank)) {
+	for _, r := range w.Ranks {
+		rank := r
+		rank.Proc = w.K.Spawn(fmt.Sprintf("rank%d", rank.ID), func(p *sim.Proc) {
+			main(rank)
+		})
+	}
+}
+
+// Run spawns all ranks on main and runs the simulation to completion,
+// returning the final virtual time.
+func (w *World) Run(main func(r *Rank)) (sim.Time, error) {
+	w.Spawn(main)
+	if err := w.K.Run(); err != nil {
+		return w.K.Now(), err
+	}
+	return w.K.Now(), nil
+}
+
+// Rank is one MPI process bound to one GPU.
+type Rank struct {
+	W    *World
+	ID   int
+	Dev  *gpu.Device
+	Proc *sim.Proc
+
+	posted     map[matchKey][]*Request
+	unexpected map[matchKey][]*pendingSend
+}
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.W.K.Now() }
+
+// Sleep advances the rank's virtual time (models local CPU work).
+func (r *Rank) Sleep(d sim.Duration) { r.Proc.Sleep(d) }
+
+// SpawnThread starts an additional simulated thread inside this rank's
+// process (the helper thread of SC-OBR). The thread shares the rank's
+// state and synchronizes with the main thread via sim.Flag.
+func (r *Rank) SpawnThread(name string, fn func(p *sim.Proc)) *sim.Proc {
+	return r.W.K.Spawn(fmt.Sprintf("rank%d.%s", r.ID, name), fn)
+}

@@ -1,0 +1,75 @@
+// Package pfs models a Lustre-style parallel filesystem: a set of
+// object storage targets (OSTs) with independent bandwidth, over which
+// large reads stripe. Unlike the single-lock LMDB path, aggregate read
+// bandwidth grows with the number of OSTs, so file-per-image reading
+// (Caffe's ImageDataLayer) scales with client count — the property
+// that lets S-Caffe reach 160 GPUs in Figure 8.
+package pfs
+
+import (
+	"fmt"
+
+	"scaffe/internal/sim"
+)
+
+// FS is one parallel filesystem instance.
+type FS struct {
+	K *sim.Kernel
+	// OSTs are the object storage targets; reads reserve them.
+	OSTs []*sim.Resource
+	// OSTBW is the per-OST bandwidth in bytes/second.
+	OSTBW float64
+	// ClientBW caps a single client's ingest rate (its network link).
+	ClientBW float64
+	// PerFileLat is the metadata/open latency charged per file.
+	PerFileLat sim.Duration
+}
+
+// New builds a filesystem with numOSTs targets.
+func New(k *sim.Kernel, numOSTs int, ostBW, clientBW float64) *FS {
+	if numOSTs <= 0 {
+		panic("pfs: need at least one OST")
+	}
+	fs := &FS{K: k, OSTBW: ostBW, ClientBW: clientBW, PerFileLat: 30 * sim.Microsecond}
+	for i := 0; i < numOSTs; i++ {
+		fs.OSTs = append(fs.OSTs, k.NewResource(fmt.Sprintf("ost%d", i)))
+	}
+	return fs
+}
+
+// Default returns the Lustre configuration used for the Cluster-A
+// experiments: 48 OSTs × 3 GB/s.
+func Default(k *sim.Kernel) *FS { return New(k, 48, 3e9, 10e9) }
+
+// ReadSpread blocks p for the time it takes one client to read `bytes`
+// of data spread uniformly over all OSTs (the steady state of a
+// data-reader thread pulling many image files): each OST serves its
+// share at its own rate, the client is capped at ClientBW, and `files`
+// metadata operations are charged.
+func (f *FS) ReadSpread(p *sim.Proc, bytes int64, files int) {
+	now := p.Now()
+	share := bytes / int64(len(f.OSTs))
+	perOST := sim.Duration(float64(share) / f.OSTBW * float64(sim.Second))
+	end := now
+	for _, ost := range f.OSTs {
+		_, e := ost.Reserve(now, perOST)
+		if e > end {
+			end = e
+		}
+	}
+	clientTime := now + sim.Duration(float64(bytes)/f.ClientBW*float64(sim.Second))
+	if clientTime > end {
+		end = clientTime
+	}
+	end += sim.Duration(files) * f.PerFileLat
+	p.WaitUntil(end)
+}
+
+// ReadFile blocks p while reading one file of `bytes` striped from a
+// deterministic OST (small files land on a single OST).
+func (f *FS) ReadFile(p *sim.Proc, fileID int64, bytes int64) {
+	ost := f.OSTs[int(fileID)%len(f.OSTs)]
+	dur := f.PerFileLat + sim.Duration(float64(bytes)/f.OSTBW*float64(sim.Second))
+	_, end := ost.Reserve(p.Now(), dur)
+	p.WaitUntil(end)
+}

@@ -1,0 +1,143 @@
+// Package proto parses Caffe-style solver prototxt files — the
+// configuration surface S-Caffe's users actually touched — and maps
+// them onto core training configs. The dialect covers the scalar
+// `key: value` fields a solver file uses (quoted strings, numbers,
+// booleans, repeated keys) plus `#` comments; nested message blocks
+// are accepted and recorded under dotted keys.
+package proto
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Document is a parsed prototxt: multi-valued keys in file order.
+// Nested blocks flatten to dotted keys ("net_param.name").
+type Document struct {
+	fields map[string][]string
+	order  []string
+}
+
+// Parse parses prototxt text.
+func Parse(text string) (*Document, error) {
+	d := &Document{fields: make(map[string][]string)}
+	var stack []string
+	line := 0
+	for _, raw := range strings.Split(text, "\n") {
+		line++
+		s := raw
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			s = s[:i]
+		}
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		// Block close.
+		if s == "}" {
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("proto: line %d: unmatched '}'", line)
+			}
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		// Block open: "name {".
+		if strings.HasSuffix(s, "{") {
+			name := strings.TrimSpace(strings.TrimSuffix(s, "{"))
+			name = strings.TrimSuffix(name, ":")
+			name = strings.TrimSpace(name)
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return nil, fmt.Errorf("proto: line %d: malformed block header %q", line, raw)
+			}
+			stack = append(stack, name)
+			continue
+		}
+		// Scalar field: "key: value".
+		i := strings.IndexByte(s, ':')
+		if i < 0 {
+			return nil, fmt.Errorf("proto: line %d: expected 'key: value', got %q", line, raw)
+		}
+		key := strings.TrimSpace(s[:i])
+		val := strings.TrimSpace(s[i+1:])
+		if key == "" || val == "" {
+			return nil, fmt.Errorf("proto: line %d: empty key or value in %q", line, raw)
+		}
+		if val[0] == '"' {
+			unq, err := strconv.Unquote(val)
+			if err != nil {
+				return nil, fmt.Errorf("proto: line %d: bad string %s", line, val)
+			}
+			val = unq
+		}
+		full := key
+		if len(stack) > 0 {
+			full = strings.Join(stack, ".") + "." + key
+		}
+		if _, seen := d.fields[full]; !seen {
+			d.order = append(d.order, full)
+		}
+		d.fields[full] = append(d.fields[full], val)
+	}
+	if len(stack) > 0 {
+		return nil, fmt.Errorf("proto: unterminated block %q", strings.Join(stack, "."))
+	}
+	return d, nil
+}
+
+// Has reports whether the key appears.
+func (d *Document) Has(key string) bool { return len(d.fields[key]) > 0 }
+
+// Keys returns the distinct keys in first-appearance order.
+func (d *Document) Keys() []string { return d.order }
+
+// String returns the last value of key, or def.
+func (d *Document) String(key, def string) string {
+	vs := d.fields[key]
+	if len(vs) == 0 {
+		return def
+	}
+	return vs[len(vs)-1]
+}
+
+// Strings returns all values of key in order.
+func (d *Document) Strings(key string) []string { return d.fields[key] }
+
+// Int returns the last value of key as an int.
+func (d *Document) Int(key string, def int) (int, error) {
+	vs := d.fields[key]
+	if len(vs) == 0 {
+		return def, nil
+	}
+	v, err := strconv.Atoi(vs[len(vs)-1])
+	if err != nil {
+		return 0, fmt.Errorf("proto: field %s: %w", key, err)
+	}
+	return v, nil
+}
+
+// Float returns the last value of key as a float64.
+func (d *Document) Float(key string, def float64) (float64, error) {
+	vs := d.fields[key]
+	if len(vs) == 0 {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(vs[len(vs)-1], 64)
+	if err != nil {
+		return 0, fmt.Errorf("proto: field %s: %w", key, err)
+	}
+	return v, nil
+}
+
+// Bool returns the last value of key as a bool.
+func (d *Document) Bool(key string, def bool) (bool, error) {
+	vs := d.fields[key]
+	if len(vs) == 0 {
+		return def, nil
+	}
+	v, err := strconv.ParseBool(vs[len(vs)-1])
+	if err != nil {
+		return false, fmt.Errorf("proto: field %s: %w", key, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,196 @@
+// Package sim implements a deterministic discrete-event simulation
+// kernel. Simulated processes ("procs") are goroutines that run
+// cooperatively: exactly one proc (or the kernel itself) executes at a
+// time, and all blocking operations park the proc on the kernel's
+// event queue. Events are ordered by (virtual time, sequence number),
+// so a simulation with a fixed set of inputs is bit-for-bit
+// reproducible across runs.
+//
+// The kernel carries virtual time only; wall-clock time spent in Go
+// code inside a proc is invisible to the simulation. A proc advances
+// virtual time explicitly with Sleep/WaitUntil or implicitly by
+// waiting on Completions fired by scheduled events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"runtime/debug"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds. It is a distinct
+// name for readability; arithmetic mixes freely with Time.
+type Duration = Time
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond Duration = 1000 * Nanosecond
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds returns the time as a floating-point number of ms.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds returns the time as a floating-point number of µs.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+
+// Kernel is a discrete-event simulation engine. The zero value is not
+// usable; create one with New.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   []*Proc
+	live    int // procs spawned but not yet finished
+	maxTime Time
+	stopped bool
+	failure error
+}
+
+// New returns a fresh kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{maxTime: 1 << 62}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetDeadline makes Run fail if virtual time would pass t. Useful as a
+// watchdog against runaway simulations.
+func (k *Kernel) SetDeadline(t Time) { k.maxTime = t }
+
+// At schedules fn to run in kernel context at virtual time t. If t is
+// in the past it runs at the current time (but strictly after all
+// previously scheduled events for that time).
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	k.events.pushEvent(event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+func (k *Kernel) After(d Duration, fn func()) { k.At(k.now+d, fn) }
+
+// Run executes the event loop until no events remain, then verifies
+// that every spawned proc has finished. It returns an error on
+// deadlock (procs remain parked with no pending events) or if the
+// deadline set by SetDeadline is exceeded.
+func (k *Kernel) Run() error {
+	for k.events.Len() > 0 && !k.stopped {
+		ev := k.events.popEvent()
+		if ev.at > k.maxTime {
+			return fmt.Errorf("sim: deadline exceeded at %v (deadline %v)", ev.at, k.maxTime)
+		}
+		k.now = ev.at
+		ev.fn()
+		if k.failure != nil {
+			return k.failure
+		}
+	}
+	if k.live > 0 {
+		var stuck []string
+		for _, p := range k.procs {
+			if !p.finished {
+				stuck = append(stuck, p.name)
+			}
+		}
+		return fmt.Errorf("sim: deadlock at %v: %d proc(s) parked: %v", k.now, k.live, stuck)
+	}
+	return nil
+}
+
+// Stop aborts the event loop after the current event completes.
+// Remaining parked procs stay parked; callers that Stop mid-run should
+// not reuse the kernel.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Spawn creates a new simulated process running fn and schedules it to
+// start at the current virtual time. It may be called before Run or
+// from within any proc or event callback.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:     k,
+		name:  name,
+		wake:  make(chan struct{}),
+		yield: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.live++
+	go func() {
+		defer func() {
+			// A panicking proc fails the whole simulation rather than
+			// the process: Run surfaces it as an error.
+			if rec := recover(); rec != nil && k.failure == nil {
+				k.failure = fmt.Errorf("sim: proc %q panicked at %v: %v\n%s", p.name, k.now, rec, debug.Stack())
+			}
+			p.finished = true
+			k.live--
+			p.yield <- struct{}{} // hand the baton back for the last time
+		}()
+		<-p.wake // wait for the kernel to hand us the baton
+		fn(p)
+	}()
+	k.At(k.now, func() { k.resume(p) })
+	return p
+}
+
+// resume transfers control to p and blocks until p parks or finishes.
+// Must only be called from kernel context (inside an event callback).
+func (k *Kernel) resume(p *Proc) {
+	if p.finished {
+		return
+	}
+	p.wake <- struct{}{}
+	<-p.yield
+}
+
+// wakeAt schedules p to be resumed at time t.
+func (k *Kernel) wakeAt(p *Proc, t Time) {
+	k.At(t, func() { k.resume(p) })
+}

@@ -1,0 +1,70 @@
+package sim
+
+// Proc is a simulated process: a goroutine scheduled cooperatively by
+// the kernel. At most one proc runs at any instant, so proc code may
+// touch shared simulation state without locks.
+type Proc struct {
+	k        *Kernel
+	name     string
+	wake     chan struct{}
+	yield    chan struct{}
+	finished bool
+}
+
+// Name returns the name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park yields control to the kernel and blocks until some event
+// resumes this proc.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.wake
+}
+
+// Sleep advances this proc's virtual time by d, allowing other events
+// to run in between.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	p.k.wakeAt(p, p.k.now+d)
+	p.park()
+}
+
+// WaitUntil blocks until virtual time t (no-op if t is in the past,
+// beyond a yield).
+func (p *Proc) WaitUntil(t Time) {
+	p.k.wakeAt(p, t)
+	p.park()
+}
+
+// Yield gives other events scheduled for the current instant a chance
+// to run before this proc continues.
+func (p *Proc) Yield() {
+	p.k.wakeAt(p, p.k.now)
+	p.park()
+}
+
+// Wait blocks until c fires. If c has already fired it returns
+// immediately without yielding.
+func (p *Proc) Wait(c *Completion) {
+	if c.fired {
+		return
+	}
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// WaitAll blocks until every completion in cs has fired.
+func (p *Proc) WaitAll(cs ...*Completion) {
+	for _, c := range cs {
+		p.Wait(c)
+	}
+}

@@ -1,0 +1,509 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Nanosecond, "500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Millisecond, "3.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds() = %v, want 1.5", got)
+	}
+	if got := (2 * Millisecond).Microseconds(); got != 2000 {
+		t.Errorf("Microseconds() = %v, want 2000", got)
+	}
+	if got := (3 * Second).Milliseconds(); got != 3000 {
+		t.Errorf("Milliseconds() = %v, want 3000", got)
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := New()
+	var order []int
+	k.At(20, func() { order = append(order, 2) })
+	k.At(10, func() { order = append(order, 1) })
+	k.At(30, func() { order = append(order, 3) })
+	k.At(10, func() { order = append(order, 11) }) // same time: FIFO by seq
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 11, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Errorf("final time = %v, want 30", k.Now())
+	}
+}
+
+func TestPastEventRunsNow(t *testing.T) {
+	k := New()
+	var ran Time = -1
+	k.At(100, func() {
+		k.At(50, func() { ran = k.Now() }) // scheduled in the past
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 100 {
+		t.Errorf("past event ran at %v, want 100", ran)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := New()
+	var wake Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(5 * Millisecond)
+		wake = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 5*Millisecond {
+		t.Errorf("woke at %v, want 5ms", wake)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	k := New()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20)
+		order = append(order, "a30")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(20)
+		order = append(order, "b20")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a10", "b20", "a30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCompletionWaitBeforeFire(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	var at Time = -1
+	k.Spawn("waiter", func(p *Proc) {
+		p.Wait(c)
+		at = p.Now()
+	})
+	k.At(42, c.Fire)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 42 {
+		t.Errorf("waiter resumed at %v, want 42", at)
+	}
+	if !c.Fired() || c.FiredAt() != 42 {
+		t.Errorf("completion fired=%v at=%v, want true/42", c.Fired(), c.FiredAt())
+	}
+}
+
+func TestCompletionWaitAfterFire(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	var at Time = -1
+	k.Spawn("waiter", func(p *Proc) {
+		p.Sleep(100)
+		p.Wait(c) // already fired: no block
+		at = p.Now()
+	})
+	k.At(10, c.Fire)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Errorf("waiter resumed at %v, want 100", at)
+	}
+}
+
+func TestCompletionDoubleFire(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	fired := 0
+	c.OnFire(func() { fired++ })
+	k.At(5, c.Fire)
+	k.At(9, c.Fire)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("OnFire ran %d times, want 1", fired)
+	}
+	if c.FiredAt() != 5 {
+		t.Errorf("FiredAt = %v, want 5", c.FiredAt())
+	}
+}
+
+func TestCompletionOnFireAfterFired(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	k.At(5, c.Fire)
+	ran := false
+	k.At(10, func() { c.OnFire(func() { ran = true }) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("OnFire registered after firing never ran")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	k.Spawn("stuck", func(p *Proc) { p.Wait(c) })
+	err := k.Run()
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	k := New()
+	k.SetDeadline(100)
+	k.Spawn("runaway", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			p.Sleep(10)
+		}
+	})
+	if err := k.Run(); err == nil {
+		t.Fatal("expected deadline error, got nil")
+	}
+}
+
+func TestFlagHandshake(t *testing.T) {
+	k := New()
+	f := k.NewFlag()
+	var got Time
+	k.Spawn("main", func(p *Proc) {
+		f.WaitSet(p)
+		got = p.Now()
+	})
+	k.Spawn("helper", func(p *Proc) {
+		p.Sleep(77)
+		f.Set()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Errorf("flag observed at %v, want 77", got)
+	}
+	if !f.IsSet() {
+		t.Error("flag should remain set")
+	}
+	f.Clear()
+	if f.IsSet() {
+		t.Error("flag should be cleared")
+	}
+}
+
+func TestFlagAlreadySet(t *testing.T) {
+	k := New()
+	f := k.NewFlag()
+	f.Set()
+	done := false
+	k.Spawn("w", func(p *Proc) {
+		f.WaitSet(p) // returns immediately
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("WaitSet on a set flag should not block")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	k := New()
+	q := k.NewQueue(0)
+	var got []int
+	k.Spawn("producer", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			p.Sleep(10)
+			q.Put(p, i)
+		}
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if got[i] != v {
+			t.Fatalf("queue order = %v", got)
+		}
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	k := New()
+	q := k.NewQueue(1)
+	var putDone Time
+	k.Spawn("producer", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2) // blocks until consumer takes item 1
+		putDone = p.Now()
+	})
+	k.Spawn("consumer", func(p *Proc) {
+		p.Sleep(50)
+		_ = q.Get(p)
+		_ = q.Get(p)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if putDone != 50 {
+		t.Errorf("bounded Put completed at %v, want 50", putDone)
+	}
+}
+
+func TestQueueTryPut(t *testing.T) {
+	k := New()
+	q := k.NewQueue(1)
+	if !q.TryPut(1) {
+		t.Fatal("first TryPut should succeed")
+	}
+	if q.TryPut(2) {
+		t.Fatal("second TryPut should fail on a full queue")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	k := New()
+	r := k.NewResource("link")
+	s1, e1 := r.Reserve(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first reservation = [%v,%v], want [0,10]", s1, e1)
+	}
+	s2, e2 := r.Reserve(5, 10) // queued behind the first
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("second reservation = [%v,%v], want [10,20]", s2, e2)
+	}
+	s3, e3 := r.Reserve(100, 5) // idle gap
+	if s3 != 100 || e3 != 105 {
+		t.Fatalf("third reservation = [%v,%v], want [100,105]", s3, e3)
+	}
+	if r.BusyTotal() != 25 {
+		t.Errorf("BusyTotal = %v, want 25", r.BusyTotal())
+	}
+	if r.FreeAt(50) != 105 {
+		t.Errorf("FreeAt(50) = %v, want 105", r.FreeAt(50))
+	}
+	if r.FreeAt(200) != 200 {
+		t.Errorf("FreeAt(200) = %v, want 200", r.FreeAt(200))
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	k := New()
+	s := k.NewSemaphore(2)
+	active, maxActive := 0, 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("worker", func(p *Proc) {
+			s.Acquire(p)
+			active++
+			if active > maxActive {
+				maxActive = active
+			}
+			p.Sleep(10)
+			active--
+			s.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxActive != 2 {
+		t.Errorf("max concurrent holders = %d, want 2", maxActive)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		k := New()
+		var log []Time
+		for i := 0; i < 4; i++ {
+			d := Duration(i*7 + 3)
+			k.Spawn("p", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(d)
+					log = append(log, p.Now())
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := New()
+	var childAt Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(10)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(5)
+			childAt = c.Now()
+		})
+		p.Sleep(100)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 15 {
+		t.Errorf("child finished at %v, want 15", childAt)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	k := New()
+	c1, c2 := k.NewCompletion(), k.NewCompletion()
+	k.At(10, c1.Fire)
+	k.At(30, c2.Fire)
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		p.WaitAll(c1, c2)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 30 {
+		t.Errorf("WaitAll returned at %v, want 30", at)
+	}
+}
+
+func TestYield(t *testing.T) {
+	k := New()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStopHaltsLoop(t *testing.T) {
+	k := New()
+	count := 0
+	k.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(10)
+			count++
+			if count == 5 {
+				k.Stop()
+			}
+		}
+	})
+	_ = k.Run() // stopping mid-run leaves the proc parked; no panic
+	if count < 5 || count > 6 {
+		t.Errorf("Stop did not halt promptly: count = %d", count)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := New()
+	var at Time
+	k.At(100, func() {
+		k.After(50, func() { at = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestProcPanicSurfacesAsError(t *testing.T) {
+	k := New()
+	k.Spawn("bomb", func(p *Proc) {
+		p.Sleep(5)
+		panic("boom")
+	})
+	err := k.Run()
+	if err == nil {
+		t.Fatal("proc panic should fail Run")
+	}
+}
+
+func TestNegativeSleepYields(t *testing.T) {
+	k := New()
+	done := false
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(-5) // treated as a yield
+		done = true
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done || k.Now() != 0 {
+		t.Errorf("negative sleep: done=%v now=%v", done, k.Now())
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+// Completion is a one-shot event that procs can wait on. It is created
+// un-fired; Fire releases all current and future waiters. Completions
+// are the simulation analogue of a chan struct{} that is closed once.
+type Completion struct {
+	k       *Kernel
+	fired   bool
+	firedAt Time
+	waiters []*Proc
+	cbs     []func()
+}
+
+// NewCompletion returns an un-fired completion bound to k.
+func (k *Kernel) NewCompletion() *Completion { return &Completion{k: k} }
+
+// Fired reports whether the completion has fired.
+func (c *Completion) Fired() bool { return c.fired }
+
+// FiredAt returns the virtual time at which the completion fired; it
+// is only meaningful when Fired is true.
+func (c *Completion) FiredAt() Time { return c.firedAt }
+
+// Fire marks the completion done at the current virtual time, wakes
+// all waiters, and runs registered callbacks in kernel context. Firing
+// twice is a no-op.
+func (c *Completion) Fire() {
+	if c.fired {
+		return
+	}
+	c.fired = true
+	c.firedAt = c.k.now
+	for _, p := range c.waiters {
+		c.k.wakeAt(p, c.k.now)
+	}
+	c.waiters = nil
+	for _, fn := range c.cbs {
+		c.k.At(c.k.now, fn)
+	}
+	c.cbs = nil
+}
+
+// FireAt schedules the completion to fire at virtual time t.
+func (c *Completion) FireAt(t Time) {
+	c.k.At(t, c.Fire)
+}
+
+// OnFire registers fn to run (in kernel context) when the completion
+// fires. If it has already fired, fn is scheduled immediately.
+func (c *Completion) OnFire(fn func()) {
+	if c.fired {
+		c.k.At(c.k.now, fn)
+		return
+	}
+	c.cbs = append(c.cbs, fn)
+}
+
+// Flag is a reusable binary condition used for intra-rank thread
+// synchronization (the helper-thread/main-thread handshake of
+// SC-OBR). Set wakes all waiters; the flag stays set until Clear.
+type Flag struct {
+	k       *Kernel
+	set     bool
+	waiters []*Proc
+}
+
+// NewFlag returns a cleared flag.
+func (k *Kernel) NewFlag() *Flag { return &Flag{k: k} }
+
+// Set raises the flag and wakes all waiting procs.
+func (f *Flag) Set() {
+	f.set = true
+	for _, p := range f.waiters {
+		f.k.wakeAt(p, f.k.now)
+	}
+	f.waiters = nil
+}
+
+// Clear lowers the flag.
+func (f *Flag) Clear() { f.set = false }
+
+// IsSet reports the flag state.
+func (f *Flag) IsSet() bool { return f.set }
+
+// WaitSet blocks p until the flag is set (returns immediately if
+// already set).
+func (f *Flag) WaitSet(p *Proc) {
+	for !f.set {
+		f.waiters = append(f.waiters, p)
+		p.park()
+	}
+}
+
+// Queue is an unbounded-or-bounded FIFO of values passed between
+// procs, the simulation analogue of a buffered channel. A zero cap
+// means unbounded.
+type Queue struct {
+	k       *Kernel
+	items   []any
+	cap     int
+	getters []*Proc
+	putters []*Proc
+}
+
+// NewQueue returns a queue with the given capacity (0 = unbounded).
+func (k *Kernel) NewQueue(capacity int) *Queue {
+	return &Queue{k: k, cap: capacity}
+}
+
+// Len returns the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends v, blocking p while the queue is at capacity.
+func (q *Queue) Put(p *Proc, v any) {
+	for q.cap > 0 && len(q.items) >= q.cap {
+		q.putters = append(q.putters, p)
+		p.park()
+	}
+	q.items = append(q.items, v)
+	q.wakeOneGetter()
+}
+
+// TryPut appends v without blocking; it reports false if the queue is
+// full.
+func (q *Queue) TryPut(v any) bool {
+	if q.cap > 0 && len(q.items) >= q.cap {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.wakeOneGetter()
+	return true
+}
+
+// Get removes and returns the oldest item, blocking p while empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.wakeOnePutter()
+	return v
+}
+
+func (q *Queue) wakeOneGetter() {
+	if len(q.getters) > 0 {
+		p := q.getters[0]
+		q.getters = q.getters[1:]
+		q.k.wakeAt(p, q.k.now)
+	}
+}
+
+func (q *Queue) wakeOnePutter() {
+	if len(q.putters) > 0 {
+		p := q.putters[0]
+		q.putters = q.putters[1:]
+		q.k.wakeAt(p, q.k.now)
+	}
+}
+
+// Resource models a FIFO-served exclusive resource (a link, a DMA
+// engine, a GPU stream) with a "busy until" horizon. Reservations do
+// not require a proc: callers reserve a span and receive its start and
+// end times; the caller is responsible for waiting if it wants
+// blocking semantics.
+type Resource struct {
+	k         *Kernel
+	busyUntil Time
+	name      string
+	busyTotal Duration
+}
+
+// NewResource returns an idle resource.
+func (k *Kernel) NewResource(name string) *Resource {
+	return &Resource{k: k, name: name}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Reserve books the resource for d starting no earlier than `from` and
+// no earlier than the end of all previous reservations. It returns the
+// start and end times of the booked span.
+func (r *Resource) Reserve(from Time, d Duration) (start, end Time) {
+	start = from
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end = start + d
+	r.busyUntil = end
+	r.busyTotal += d
+	return start, end
+}
+
+// FreeAt returns the earliest time at or after `from` at which the
+// resource is idle.
+func (r *Resource) FreeAt(from Time) Time {
+	if r.busyUntil > from {
+		return r.busyUntil
+	}
+	return from
+}
+
+// BusyTotal returns the cumulative reserved time, for utilization
+// reporting.
+func (r *Resource) BusyTotal() Duration { return r.busyTotal }
+
+// Semaphore is a counting semaphore for procs.
+type Semaphore struct {
+	k       *Kernel
+	permits int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func (k *Kernel) NewSemaphore(n int) *Semaphore {
+	return &Semaphore{k: k, permits: n}
+}
+
+// Acquire takes one permit, blocking p until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.permits == 0 {
+		s.waiters = append(s.waiters, p)
+		p.park()
+	}
+	s.permits--
+}
+
+// Release returns one permit and wakes a waiter if any.
+func (s *Semaphore) Release() {
+	s.permits++
+	if len(s.waiters) > 0 {
+		p := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.k.wakeAt(p, s.k.now)
+	}
+}

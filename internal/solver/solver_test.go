@@ -1,0 +1,172 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"scaffe/internal/layers"
+	"scaffe/internal/models"
+	"scaffe/internal/tensor"
+)
+
+func TestLRPolicies(t *testing.T) {
+	if (Fixed{Base: 0.1}).LR(1000) != 0.1 {
+		t.Error("fixed policy drifted")
+	}
+	st := Step{Base: 0.1, Gamma: 0.1, StepSize: 100}
+	if st.LR(0) != 0.1 || math.Abs(st.LR(100)-0.01) > 1e-12 || math.Abs(st.LR(250)-0.001) > 1e-12 {
+		t.Errorf("step policy: %v %v %v", st.LR(0), st.LR(100), st.LR(250))
+	}
+	inv := Inv{Base: 0.01, Gamma: 1e-4, Power: 0.75}
+	if inv.LR(0) != 0.01 || inv.LR(10000) >= inv.LR(0) {
+		t.Error("inv policy not decaying")
+	}
+	poly := Poly{Base: 0.01, Power: 2, MaxIter: 100}
+	if poly.LR(0) != 0.01 || poly.LR(100) != 0 || poly.LR(200) != 0 {
+		t.Errorf("poly policy endpoint: %v %v", poly.LR(100), poly.LR(200))
+	}
+}
+
+// oneParamNet builds a trivially small net for update math checks.
+func oneParamNet() *layers.Net {
+	return models.BuildTinyNet(1, 3)
+}
+
+func TestSGDVanillaUpdate(t *testing.T) {
+	net := oneParamNet()
+	s := New(Fixed{Base: 0.5}, 0, 0)
+	p0 := net.PackParams(nil)
+	// Set every gradient to 2.
+	for _, l := range net.Layers {
+		for _, g := range l.Grads() {
+			g.Fill(2)
+		}
+	}
+	s.Step(net, 0, 1)
+	p1 := net.PackParams(nil)
+	for i := range p1 {
+		want := p0[i] - 0.5*2
+		if math.Abs(float64(p1[i]-want)) > 1e-6 {
+			t.Fatalf("param %d: got %v, want %v", i, p1[i], want)
+		}
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	net := oneParamNet()
+	s := New(Fixed{Base: 1}, 0.9, 0)
+	for _, l := range net.Layers {
+		for _, g := range l.Grads() {
+			g.Fill(1)
+		}
+	}
+	p0 := net.PackParams(nil)
+	s.Step(net, 0, 1) // v = -1;    w = p0 - 1
+	s.Step(net, 1, 1) // v = -1.9;  w = p0 - 2.9
+	p2 := net.PackParams(nil)
+	for i := range p2 {
+		want := p0[i] - 2.9
+		if math.Abs(float64(p2[i]-want)) > 1e-5 {
+			t.Fatalf("param %d after 2 momentum steps: got %v, want %v", i, p2[i], want)
+		}
+	}
+}
+
+func TestSGDWeightDecayPullsTowardZero(t *testing.T) {
+	net := oneParamNet()
+	s := New(Fixed{Base: 0.1}, 0, 0.5)
+	net.UnpackParams(onesLike(net))
+	for _, l := range net.Layers {
+		for _, g := range l.Grads() {
+			g.Zero()
+		}
+	}
+	s.Step(net, 0, 1)
+	p := net.PackParams(nil)
+	for i := range p {
+		// w = 1 - 0.1*0.5*1 = 0.95
+		if math.Abs(float64(p[i])-0.95) > 1e-6 {
+			t.Fatalf("decay step: got %v, want 0.95", p[i])
+		}
+	}
+}
+
+func onesLike(n *layers.Net) []float32 {
+	v := make([]float32, n.TotalParams())
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func TestSGDScaleNormalizesSummedGradients(t *testing.T) {
+	// Two nets: one stepped with grad g and scale 1, one with grad 4g
+	// and scale 1/4 — identical results (the multi-solver averaging).
+	a, b := oneParamNet(), oneParamNet()
+	sa := New(Fixed{Base: 0.2}, 0.9, 0.01)
+	sb := New(Fixed{Base: 0.2}, 0.9, 0.01)
+	for _, l := range a.Layers {
+		for _, g := range l.Grads() {
+			g.Fill(3)
+		}
+	}
+	for _, l := range b.Layers {
+		for _, g := range l.Grads() {
+			g.Fill(12)
+		}
+	}
+	sa.Step(a, 0, 1)
+	sb.Step(b, 0, 0.25)
+	pa, pb := a.PackParams(nil), b.PackParams(nil)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("scaled update diverged at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestTrainingConvergesOnSyntheticData(t *testing.T) {
+	// End-to-end: LeNet-like training on learnable synthetic data must
+	// cut the loss significantly.
+	net := models.BuildTinyNet(16, 5)
+	s := New(Fixed{Base: 0.05}, 0.9, 0)
+	ds := syntheticBatch(16, net.In)
+	var first, last float32
+	for it := 0; it < 40; it++ {
+		net.ZeroGrads()
+		loss := net.Forward(ds.x, ds.labels)
+		if it == 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward()
+		s.Step(net, it, 1)
+	}
+	if last > first*0.7 {
+		t.Errorf("loss barely moved: %v -> %v", first, last)
+	}
+}
+
+type fixedBatch struct {
+	x      *tensor.Tensor
+	labels []int
+}
+
+func syntheticBatch(n int, in layers.Shape) fixedBatch {
+	x := tensor.New(n, in.C, in.H, in.W)
+	labels := make([]int, n)
+	for b := 0; b < n; b++ {
+		labels[b] = b % 4
+		for j := 0; j < in.Elems(); j++ {
+			// Class-dependent deterministic pattern.
+			x.Data[b*in.Elems()+j] = float32((j*(labels[b]+1))%7) / 7
+		}
+	}
+	return fixedBatch{x: x, labels: labels}
+}
+
+func TestUpdateFLOPs(t *testing.T) {
+	if UpdateFLOPs(10) != 40 {
+		t.Errorf("UpdateFLOPs(10) = %v", UpdateFLOPs(10))
+	}
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmParallelThreshold is the output size (M*N) above which GEMM
+// fans out across CPU cores; small multiplies stay single-threaded to
+// avoid goroutine overhead.
+const gemmParallelThreshold = 64 * 64
+
+// Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices,
+// where op transposes when the corresponding flag is set. A is M×K
+// (K×M if transA), B is K×N (N×K if transB), C is M×N. The row range
+// of C is partitioned statically across workers, so results are
+// bit-identical regardless of parallelism.
+func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
+	if len(c) < m*n {
+		panic("tensor: gemm C too small")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if m*n < gemmParallelThreshold || workers < 2 {
+		gemmRows(transA, transB, m, n, k, alpha, a, b, beta, c, 0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	per := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRows(transA, transB, m, n, k, alpha, a, b, beta, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRows computes rows [lo,hi) of C.
+func gemmRows(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		if beta == 0 {
+			for j := range ci {
+				ci[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range ci {
+				ci[j] *= beta
+			}
+		}
+		switch {
+		case !transA && !transB:
+			// C[i,:] += alpha * sum_p A[i,p] * B[p,:]  (streams B rows)
+			ai := a[i*k : (i+1)*k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				s := alpha * av
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += s * bv
+				}
+			}
+		case !transA && transB:
+			ai := a[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				bj := b[j*k : (j+1)*k]
+				var acc float32
+				for p := range ai {
+					acc += ai[p] * bj[p]
+				}
+				ci[j] += alpha * acc
+			}
+		case transA && !transB:
+			// A is K×M: A[p,i]
+			for p := 0; p < k; p++ {
+				av := a[p*m+i]
+				if av == 0 {
+					continue
+				}
+				s := alpha * av
+				bp := b[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += s * bv
+				}
+			}
+		default: // transA && transB
+			for j := 0; j < n; j++ {
+				var acc float32
+				for p := 0; p < k; p++ {
+					acc += a[p*m+i] * b[j*k+p]
+				}
+				ci[j] += alpha * acc
+			}
+		}
+	}
+}
+
+// Gemv computes y = alpha*op(A)*x + beta*y (specialized M×K by K
+// matrix-vector product).
+func Gemv(transA bool, m, k int, alpha float32, a, x []float32, beta float32, y []float32) {
+	if transA {
+		Gemm(true, false, k, 1, m, alpha, a, x, beta, y)
+		return
+	}
+	Gemm(false, false, m, 1, k, alpha, a, x, beta, y)
+}

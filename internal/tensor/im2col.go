@@ -1,0 +1,80 @@
+package tensor
+
+// ConvGeom describes a 2-D convolution/pooling geometry.
+type ConvGeom struct {
+	InC, InH, InW    int
+	KernelH, KernelW int
+	StrideH, StrideW int
+	PadH, PadW       int
+}
+
+// OutH returns the output height.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KernelH)/g.StrideH + 1 }
+
+// OutW returns the output width.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KernelW)/g.StrideW + 1 }
+
+// Im2col expands one image (C×H×W, flattened) into the column matrix
+// used to lower convolution onto GEMM: (C·kh·kw) rows × (outH·outW)
+// columns. col must have length C*kh*kw*outH*outW.
+func Im2col(g ConvGeom, img []float32, col []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	idx := 0
+	for c := 0; c < g.InC; c++ {
+		chn := img[c*g.InH*g.InW:]
+		for kh := 0; kh < g.KernelH; kh++ {
+			for kw := 0; kw < g.KernelW; kw++ {
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						for ow := 0; ow < outW; ow++ {
+							col[idx] = 0
+							idx++
+						}
+						continue
+					}
+					row := chn[ih*g.InW:]
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							col[idx] = 0
+						} else {
+							col[idx] = row[iw]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2im scatters a column matrix back into an image, accumulating
+// overlapping contributions (the adjoint of Im2col, used for the
+// convolution input gradient). img must be zeroed by the caller.
+func Col2im(g ConvGeom, col []float32, img []float32) {
+	outH, outW := g.OutH(), g.OutW()
+	idx := 0
+	for c := 0; c < g.InC; c++ {
+		chn := img[c*g.InH*g.InW:]
+		for kh := 0; kh < g.KernelH; kh++ {
+			for kw := 0; kw < g.KernelW; kw++ {
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						idx += outW
+						continue
+					}
+					row := chn[ih*g.InW:]
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw >= 0 && iw < g.InW {
+							row[iw] += col[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndReshape(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Len() != 24 || a.Dim(1) != 3 {
+		t.Fatalf("bad geometry: len=%d dim1=%d", a.Len(), a.Dim(1))
+	}
+	b := a.Reshape(6, 4)
+	b.Data[0] = 5
+	if a.Data[0] != 5 {
+		t.Error("Reshape must alias data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("reshape to wrong length must panic")
+		}
+	}()
+	a.Reshape(5, 5)
+}
+
+func TestCloneZeroFill(t *testing.T) {
+	a := New(4)
+	a.Fill(3)
+	c := a.Clone()
+	a.Zero()
+	if c.Data[2] != 3 || a.Data[2] != 0 {
+		t.Error("Clone/Zero interaction wrong")
+	}
+}
+
+func TestAxpyScale(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{10, 20}, 2)
+	a.Axpy(0.5, b)
+	if a.Data[0] != 6 || a.Data[1] != 12 {
+		t.Errorf("Axpy = %v", a.Data)
+	}
+	a.Scale(2)
+	if a.Data[0] != 12 {
+		t.Errorf("Scale = %v", a.Data)
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Error("equal shapes reported different")
+	}
+	if New(2, 3).SameShape(New(3, 2)) || New(2).SameShape(New(2, 1)) {
+		t.Error("different shapes reported equal")
+	}
+}
+
+// naiveGemm is the O(mnk) reference implementation.
+func naiveGemm(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				var av, bv float32
+				if transA {
+					av = a[p*m+i]
+				} else {
+					av = a[i*k+p]
+				}
+				if transB {
+					bv = b[j*k+p]
+				} else {
+					bv = b[p*n+j]
+				}
+				acc += av * bv
+			}
+			c[i*n+j] = beta*c[i*n+j] + alpha*acc
+		}
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct {
+		ta, tb  bool
+		m, n, k int
+	}{
+		{false, false, 3, 4, 5},
+		{false, true, 4, 3, 6},
+		{true, false, 5, 2, 3},
+		{true, true, 2, 5, 4},
+		{false, false, 65, 70, 33}, // crosses the parallel threshold
+		{false, true, 128, 64, 32},
+		{true, false, 64, 128, 16},
+	} {
+		a := make([]float32, tc.m*tc.k)
+		b := make([]float32, tc.k*tc.n)
+		for i := range a {
+			a[i] = rng.Float32()*2 - 1
+		}
+		for i := range b {
+			b[i] = rng.Float32()*2 - 1
+		}
+		c1 := make([]float32, tc.m*tc.n)
+		c2 := make([]float32, tc.m*tc.n)
+		for i := range c1 {
+			c1[i] = rng.Float32()
+			c2[i] = c1[i]
+		}
+		Gemm(tc.ta, tc.tb, tc.m, tc.n, tc.k, 0.7, a, b, 0.3, c1)
+		naiveGemm(tc.ta, tc.tb, tc.m, tc.n, tc.k, 0.7, a, b, 0.3, c2)
+		for i := range c1 {
+			if d := math.Abs(float64(c1[i] - c2[i])); d > 2e-4 {
+				t.Fatalf("case %+v: element %d differs by %g", tc, i, d)
+			}
+		}
+	}
+}
+
+func TestGemmProperty(t *testing.T) {
+	// Property: Gemm with beta=0, alpha=1 is linear in A.
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed uint16) bool {
+		r := rand.New(rand.NewSource(int64(seed)))
+		m, n, k := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a1 := make([]float32, m*k)
+		a2 := make([]float32, m*k)
+		b := make([]float32, k*n)
+		for i := range a1 {
+			a1[i], a2[i] = r.Float32(), r.Float32()
+		}
+		for i := range b {
+			b[i] = r.Float32()
+		}
+		sum := make([]float32, m*k)
+		for i := range sum {
+			sum[i] = a1[i] + a2[i]
+		}
+		c1 := make([]float32, m*n)
+		c2 := make([]float32, m*n)
+		cs := make([]float32, m*n)
+		Gemm(false, false, m, n, k, 1, a1, b, 0, c1)
+		Gemm(false, false, m, n, k, 1, a2, b, 0, c2)
+		Gemm(false, false, m, n, k, 1, sum, b, 0, cs)
+		for i := range cs {
+			if math.Abs(float64(cs[i]-(c1[i]+c2[i]))) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGemv(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5, 6} // 2x3
+	x := []float32{1, 1, 1}
+	y := make([]float32, 2)
+	Gemv(false, 2, 3, 1, a, x, 0, y)
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("Gemv = %v", y)
+	}
+	yt := make([]float32, 3)
+	xt := []float32{1, 1}
+	Gemv(true, 2, 3, 1, a, xt, 0, yt)
+	if yt[0] != 5 || yt[1] != 7 || yt[2] != 9 {
+		t.Errorf("Gemv^T = %v", yt)
+	}
+}
+
+func TestIm2colRoundTripGeometry(t *testing.T) {
+	g := ConvGeom{InC: 2, InH: 5, InW: 5, KernelH: 3, KernelW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1}
+	if g.OutH() != 3 || g.OutW() != 3 {
+		t.Fatalf("out = %dx%d, want 3x3", g.OutH(), g.OutW())
+	}
+	img := make([]float32, 2*5*5)
+	for i := range img {
+		img[i] = float32(i)
+	}
+	col := make([]float32, 2*3*3*3*3)
+	Im2col(g, img, col)
+	// Center output (oh=1, ow=1) with kh=1,kw=1 should read the pixel
+	// at (h,w) = (1*2-1+1, 1*2-1+1) = (2,2) of channel 0 => index 12.
+	idx := ((0*3+1)*3+1)*9 + 1*3 + 1 // c=0, kh=1, kw=1, oh=1, ow=1
+	if col[idx] != 12 {
+		t.Errorf("im2col center sample = %v, want 12", col[idx])
+	}
+}
+
+func TestIm2colCol2imAdjoint(t *testing.T) {
+	// <col, Im2col(x)> == <Col2im(col), x> for all x, col — the
+	// defining property of an adjoint pair, which is exactly what the
+	// convolution backward pass relies on.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		g := ConvGeom{
+			InC: 1 + rng.Intn(3), InH: 3 + rng.Intn(5), InW: 3 + rng.Intn(5),
+			KernelH: 1 + rng.Intn(3), KernelW: 1 + rng.Intn(3),
+			StrideH: 1 + rng.Intn(2), StrideW: 1 + rng.Intn(2),
+			PadH: rng.Intn(2), PadW: rng.Intn(2),
+		}
+		if g.OutH() < 1 || g.OutW() < 1 {
+			continue
+		}
+		nImg := g.InC * g.InH * g.InW
+		nCol := g.InC * g.KernelH * g.KernelW * g.OutH() * g.OutW()
+		x := make([]float32, nImg)
+		colRand := make([]float32, nCol)
+		for i := range x {
+			x[i] = rng.Float32()*2 - 1
+		}
+		for i := range colRand {
+			colRand[i] = rng.Float32()*2 - 1
+		}
+		colX := make([]float32, nCol)
+		Im2col(g, x, colX)
+		var lhs float64
+		for i := range colX {
+			lhs += float64(colRand[i]) * float64(colX[i])
+		}
+		back := make([]float32, nImg)
+		Col2im(g, colRand, back)
+		var rhs float64
+		for i := range back {
+			rhs += float64(back[i]) * float64(x[i])
+		}
+		if math.Abs(lhs-rhs) > 1e-3*(1+math.Abs(lhs)) {
+			t.Fatalf("geom %+v: adjoint mismatch %v vs %v", g, lhs, rhs)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	in := []float32{-1, 0, 2}
+	out := make([]float32, 3)
+	ReLUForward(in, out)
+	if out[0] != 0 || out[1] != 0 || out[2] != 2 {
+		t.Errorf("relu = %v", out)
+	}
+	g := []float32{5, 5, 5}
+	gi := make([]float32, 3)
+	ReLUBackward(in, g, gi)
+	if gi[0] != 0 || gi[1] != 0 || gi[2] != 5 {
+		t.Errorf("relu' = %v", gi)
+	}
+}
+
+func TestSoftmaxRow(t *testing.T) {
+	row := []float32{1, 2, 3}
+	SoftmaxRow(row)
+	var sum float64
+	for _, v := range row {
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-5 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+	if !(row[2] > row[1] && row[1] > row[0]) {
+		t.Errorf("softmax not monotone: %v", row)
+	}
+	// Large logits must not overflow.
+	big := []float32{1000, 1001, 999}
+	SoftmaxRow(big)
+	if math.IsNaN(float64(big[0])) || math.IsInf(float64(big[1]), 0) {
+		t.Error("softmax overflowed on large logits")
+	}
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	// Numerical gradient check of the combined softmax+CE.
+	const batch, classes = 3, 5
+	rng := rand.New(rand.NewSource(7))
+	logits := make([]float32, batch*classes)
+	for i := range logits {
+		logits[i] = rng.Float32()*2 - 1
+	}
+	labels := []int{1, 4, 0}
+	lossAt := func(l []float32) float64 {
+		cp := append([]float32(nil), l...)
+		g := make([]float32, len(l))
+		return float64(SoftmaxCrossEntropy(cp, batch, classes, labels, g))
+	}
+	grad := make([]float32, batch*classes)
+	cp := append([]float32(nil), logits...)
+	SoftmaxCrossEntropy(cp, batch, classes, labels, grad)
+	const eps = 1e-2
+	for i := range logits {
+		plus := append([]float32(nil), logits...)
+		minus := append([]float32(nil), logits...)
+		plus[i] += eps
+		minus[i] -= eps
+		num := (lossAt(plus) - lossAt(minus)) / (2 * eps)
+		ana := float64(grad[i]) / batch // grad is unnormalized; loss is mean
+		if math.Abs(num-ana) > 1e-3 {
+			t.Fatalf("logit %d: numeric %g vs analytic %g", i, num, ana)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	probs := []float32{
+		0.9, 0.1, // -> 0
+		0.2, 0.8, // -> 1
+		0.6, 0.4, // -> 0
+	}
+	if acc := Accuracy(probs, 3, 2, []int{0, 1, 1}); math.Abs(acc-2.0/3) > 1e-9 {
+		t.Errorf("accuracy = %v", acc)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{1, 2.5, 2}, 3)
+	if d := MaxAbsDiff(a, b); math.Abs(d-1) > 1e-9 {
+		t.Errorf("MaxAbsDiff = %v, want 1", d)
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(10000)
+	a.GaussianInit(rng, 0.1)
+	var mean, sq float64
+	for _, v := range a.Data {
+		mean += float64(v)
+		sq += float64(v) * float64(v)
+	}
+	mean /= float64(a.Len())
+	std := math.Sqrt(sq/float64(a.Len()) - mean*mean)
+	if math.Abs(mean) > 0.01 || math.Abs(std-0.1) > 0.01 {
+		t.Errorf("gaussian init: mean=%v std=%v", mean, std)
+	}
+	b := New(10000)
+	b.XavierInit(rng, 300)
+	lim := math.Sqrt(3.0 / 300)
+	for _, v := range b.Data {
+		if float64(v) > lim || float64(v) < -lim {
+			t.Fatalf("xavier sample %v outside [-%v, %v]", v, lim, lim)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	check("New with zero dim", func() { New(3, 0) })
+	check("FromSlice length mismatch", func() { FromSlice([]float32{1, 2}, 3) })
+	check("CopyFrom mismatch", func() { New(2).CopyFrom(New(3)) })
+	check("Axpy mismatch", func() { New(2).Axpy(1, New(3)) })
+	check("MaxAbsDiff mismatch", func() { MaxAbsDiff(New(2), New(3)) })
+	check("Gemm small C", func() {
+		Gemm(false, false, 2, 2, 2, 1, make([]float32, 4), make([]float32, 4), 0, make([]float32, 3))
+	})
+}
+
+func TestGemmBetaOne(t *testing.T) {
+	a := []float32{1, 0, 0, 1} // identity
+	b := []float32{3, 4, 5, 6}
+	c := []float32{10, 10, 10, 10}
+	Gemm(false, false, 2, 2, 2, 1, a, b, 1, c) // c += I*b
+	want := []float32{13, 14, 15, 16}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("beta=1 accumulate: %v", c)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package trace records per-rank phase timelines of a training run and
+// renders them as a Chrome trace (chrome://tracing / Perfetto JSON) or
+// an ASCII Gantt chart — the visual counterpart of Figures 4–6's
+// overlap diagrams.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"scaffe/internal/sim"
+)
+
+// Event is one recorded span.
+type Event struct {
+	// Rank is the MPI rank the span belongs to.
+	Rank int
+	// Phase names the activity ("propagation", "forward", ...).
+	Phase string
+	// Start and End bound the span in virtual time.
+	Start, End sim.Time
+}
+
+// Duration returns the span length.
+func (e Event) Duration() sim.Duration { return e.End - e.Start }
+
+// Recorder accumulates events. The zero value is ready to use; a nil
+// *Recorder ignores Add calls, so callers can record unconditionally.
+type Recorder struct {
+	events []Event
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records one span. Zero-length spans are dropped.
+func (t *Recorder) Add(rank int, phase string, start, end sim.Time) {
+	if t == nil || end <= start {
+		return
+	}
+	t.events = append(t.events, Event{Rank: rank, Phase: phase, Start: start, End: end})
+}
+
+// Events returns the recorded spans in insertion order.
+func (t *Recorder) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Len returns the number of recorded spans.
+func (t *Recorder) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// chromeEvent is the Trace Event Format "complete" record.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace emits the timeline in Chrome Trace Event Format
+// (load in chrome://tracing or ui.perfetto.dev). Ranks map to
+// processes.
+func (t *Recorder) WriteChromeTrace(w io.Writer) error {
+	evs := make([]chromeEvent, 0, t.Len())
+	for _, e := range t.Events() {
+		evs = append(evs, chromeEvent{
+			Name: e.Phase,
+			Ph:   "X",
+			Ts:   e.Start.Microseconds(),
+			Dur:  e.Duration().Microseconds(),
+			Pid:  e.Rank,
+			Tid:  0,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}
+
+// phaseGlyphs maps phase names to Gantt glyphs; unknown phases render
+// as '#'.
+var phaseGlyphs = map[string]byte{
+	"data":        'd',
+	"propagation": 'P',
+	"forward":     'F',
+	"backward":    'B',
+	"aggregation": 'A',
+	"update":      'U',
+}
+
+// Gantt renders an ASCII timeline, one row per rank, `width` columns
+// spanning [0, horizon]. Later events overwrite earlier ones in a
+// cell; idle time is '.'.
+func (t *Recorder) Gantt(width int) string {
+	evs := t.Events()
+	if len(evs) == 0 || width < 10 {
+		return "(no trace)\n"
+	}
+	var horizon sim.Time
+	maxRank := 0
+	for _, e := range evs {
+		if e.End > horizon {
+			horizon = e.End
+		}
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+	}
+	rows := make([][]byte, maxRank+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range evs {
+		g, ok := phaseGlyphs[e.Phase]
+		if !ok {
+			g = '#'
+		}
+		lo := int(int64(e.Start) * int64(width) / int64(horizon))
+		hi := int(int64(e.End) * int64(width) / int64(horizon))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for c := lo; c < hi; c++ {
+			rows[e.Rank][c] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: 0 .. %v (one row per rank)\n", horizon)
+	keys := make([]string, 0, len(phaseGlyphs))
+	for k := range phaseGlyphs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %c=%s", phaseGlyphs[k], k)
+	}
+	b.WriteString("\n")
+	for rank, row := range rows {
+		fmt.Fprintf(&b, "rank%-3d |%s|\n", rank, row)
+	}
+	return b.String()
+}
+
+// PhaseTotals sums the recorded time per phase per rank.
+func (t *Recorder) PhaseTotals() map[string][]sim.Duration {
+	out := make(map[string][]sim.Duration)
+	maxRank := 0
+	for _, e := range t.Events() {
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+	}
+	for _, e := range t.Events() {
+		row := out[e.Phase]
+		if row == nil {
+			row = make([]sim.Duration, maxRank+1)
+		}
+		row[e.Rank] += e.Duration()
+		out[e.Phase] = row
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scaffe/internal/sim"
+)
+
+func sample() *Recorder {
+	t := New()
+	t.Add(0, "forward", 0, 10*sim.Millisecond)
+	t.Add(0, "aggregation", 10*sim.Millisecond, 25*sim.Millisecond)
+	t.Add(1, "forward", 2*sim.Millisecond, 12*sim.Millisecond)
+	t.Add(1, "backward", 12*sim.Millisecond, 30*sim.Millisecond)
+	return t
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(0, "forward", 0, 10) // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Error("nil recorder should be empty")
+	}
+}
+
+func TestAddDropsEmptySpans(t *testing.T) {
+	r := New()
+	r.Add(0, "x", 10, 10)
+	r.Add(0, "x", 10, 5)
+	if r.Len() != 0 {
+		t.Errorf("empty spans recorded: %d", r.Len())
+	}
+}
+
+func TestEventDuration(t *testing.T) {
+	e := Event{Start: 5, End: 12}
+	if e.Duration() != 7 {
+		t.Errorf("duration = %v", e.Duration())
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	first := evs[0]
+	if first["name"] != "forward" || first["ph"] != "X" {
+		t.Errorf("first event = %v", first)
+	}
+	if first["dur"].(float64) != 10000 { // 10ms in µs
+		t.Errorf("dur = %v, want 10000", first["dur"])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := sample().Gantt(40)
+	if !strings.Contains(g, "rank0 ") || !strings.Contains(g, "rank1 ") {
+		t.Errorf("gantt missing rank rows:\n%s", g)
+	}
+	if !strings.Contains(g, "F") || !strings.Contains(g, "A") || !strings.Contains(g, "B") {
+		t.Errorf("gantt missing phase glyphs:\n%s", g)
+	}
+	if New().Gantt(40) != "(no trace)\n" {
+		t.Error("empty recorder should render placeholder")
+	}
+}
+
+func TestGanttUnknownPhaseGlyph(t *testing.T) {
+	r := New()
+	r.Add(0, "exotic-phase", 0, 10)
+	if !strings.Contains(r.Gantt(20), "#") {
+		t.Error("unknown phases should render as #")
+	}
+}
+
+func TestPhaseTotals(t *testing.T) {
+	totals := sample().PhaseTotals()
+	if got := totals["forward"][0]; got != 10*sim.Millisecond {
+		t.Errorf("rank0 forward total = %v", got)
+	}
+	if got := totals["backward"][1]; got != 18*sim.Millisecond {
+		t.Errorf("rank1 backward total = %v", got)
+	}
+}
