@@ -1,0 +1,30 @@
+# Top-level developer targets. `make check` is the pre-merge gate
+# (formatting, vet, build, race-enabled tests); the rest are the usual
+# shortcuts.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 45m ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+check:
+	sh scripts/check.sh

@@ -51,6 +51,7 @@ func BenchmarkExtThreeLevelReduce(b *testing.B)       { runExperiment(b, "threel
 func BenchmarkExtAllreduceRetrospective(b *testing.B) { runExperiment(b, "allreduce", benchOpts) }
 func BenchmarkExtSkewSensitivity(b *testing.B)        { runExperiment(b, "skew", benchOpts) }
 func BenchmarkExtBucketing(b *testing.B)              { runExperiment(b, "bucketing", benchOpts) }
+func BenchmarkExtSCOBRF(b *testing.B)                 { runExperiment(b, "scobrf", benchOpts) }
 func BenchmarkExtMPvsDP(b *testing.B)                 { runExperiment(b, "mpdp", benchOpts) }
 func BenchmarkExtAccuracyEquivalence(b *testing.B) {
 	runExperiment(b, "accuracy", experiments.Options{Iterations: 10})
@@ -181,6 +182,31 @@ func BenchmarkAblationDesigns(b *testing.B) {
 			b.ReportMetric(total.Milliseconds(), "virtual-ms/op")
 		})
 	}
+}
+
+// BenchmarkSchedulerOverhead measures the wall-clock cost of running
+// one SC-OB iteration through the DAG iteration scheduler. The virtual
+// time is pinned to the value the seed's hand-written loop produced for
+// the identical configuration, so any drift the graph introduces —
+// in simulated time or in host overhead — shows up here.
+func BenchmarkSchedulerOverhead(b *testing.B) {
+	const seedLoopTotal = 6163755 // captured from the pre-sched loop implementation
+	var total sim.Time
+	for i := 0; i < b.N; i++ {
+		res, err := Train(Config{
+			Spec: MustModel("cifar10-quick"), GPUs: 8,
+			GlobalBatch: 64, Iterations: 1,
+			Design: SCOB, Reduce: ReduceHR, Source: InMemory, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		total = res.TotalTime
+	}
+	if total != seedLoopTotal {
+		b.Fatalf("DAG scheduler virtual time = %d, seed loop gave %d (delta must be zero)", total, seedLoopTotal)
+	}
+	b.ReportMetric(total.Milliseconds(), "virtual-ms/op")
 }
 
 // BenchmarkSimulatorThroughput measures the raw discrete-event engine:

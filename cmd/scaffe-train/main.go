@@ -29,7 +29,8 @@ func main() {
 	batch := flag.Int("batch", 256, "effective batch size")
 	scal := flag.String("scal", "strong", "scaling mode: strong (batch divided across GPUs) or weak (batch per GPU)")
 	iters := flag.Int("iters", 20, "training iterations")
-	design := flag.String("design", "scobr", "pipeline: scb, scob, scobr, caffe, cntk, ps, mp")
+	design := flag.String("design", "scobr", "pipeline: scb, scob, scobr, scobrf, caffe, cntk, ps, mp")
+	bucketBytes := flag.Int64("bucket-bytes", 0, "gradient bucket size in bytes for scobr/scobrf (0 = per-layer for scobr, 4MiB default for scobrf)")
 	reduce := flag.String("reduce", "hr", "gradient aggregation: binomial, chain, cc, cb, ccb, hr, mv2, openmpi, rsg")
 	chain := flag.Int("chain", 8, "chain size for hierarchical reductions")
 	source := flag.String("data", "imagedata", "data backend: memory, lmdb, imagedata")
@@ -37,6 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	traceFile := flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file")
 	gantt := flag.Bool("gantt", false, "print an ASCII timeline of the run")
+	summary := flag.Bool("summary", false, "print the per-rank phase totals and compute/communication overlap table")
 	flag.Parse()
 
 	var cfg scaffe.Config
@@ -74,6 +76,8 @@ func main() {
 			cfg.Design = scaffe.SCOB
 		case "scobr":
 			cfg.Design = scaffe.SCOBR
+		case "scobrf":
+			cfg.Design = scaffe.SCOBRF
 		case "caffe":
 			cfg.Design = scaffe.Caffe
 		case "cntk":
@@ -118,6 +122,9 @@ func main() {
 			fatal(fmt.Errorf("unknown data backend %q", *source))
 		}
 	}
+	if *bucketBytes > 0 {
+		cfg.BucketBytes = *bucketBytes
+	}
 	if *real {
 		builder, err := scaffe.RealNetBuilder(*model)
 		if err != nil {
@@ -134,7 +141,7 @@ func main() {
 	}
 
 	var rec *scaffe.Trace
-	if *traceFile != "" || *gantt {
+	if *traceFile != "" || *gantt || *summary {
 		rec = scaffe.NewTrace()
 		cfg.Trace = rec
 	}
@@ -161,6 +168,16 @@ func main() {
 		res.HCAUtilization*100, res.PCIeUtilization*100)
 	if len(res.Losses) > 0 {
 		fmt.Printf("loss: first=%.4f last=%.4f\n", res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+	if *summary {
+		fmt.Println("per-rank summary (communication hidden under compute):")
+		fmt.Printf("  %-5s %12s %12s %12s %12s %12s %8s\n",
+			"rank", "data", "propagation", "compute", "aggregation", "comm", "overlap")
+		for _, row := range rec.Summary() {
+			fmt.Printf("  %-5d %12v %12v %12v %12v %12v %7.1f%%\n",
+				row.Rank, row.Phases["data"], row.Phases["propagation"], row.Compute,
+				row.Phases["aggregation"], row.Comm, row.OverlapPct)
+		}
 	}
 	if *gantt {
 		fmt.Print(rec.Gantt(100))

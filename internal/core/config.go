@@ -54,6 +54,12 @@ const (
 	// but the pipeline's sequential dependency limits utilization
 	// (Section 3.1's argument for the data-parallel approach).
 	ModelParallel
+	// SCOBRF is SC-OBR with FireCaffe-style bucketed aggregation:
+	// consecutive layers' gradients fuse into fixed-size buckets
+	// (Config.BucketBytes, defaulting to 4 MiB) before the multi-stage
+	// reduction, trading a little overlap granularity for far fewer
+	// reduce operations on many-small-layer models like GoogLeNet.
+	SCOBRF
 )
 
 func (d Design) String() string {
@@ -72,6 +78,8 @@ func (d Design) String() string {
 		return "ParamServer"
 	case ModelParallel:
 		return "ModelParallel"
+	case SCOBRF:
+		return "SC-OBR-F"
 	}
 	return "unknown"
 }
@@ -139,9 +147,11 @@ type Config struct {
 	Source SourceKind
 	// BucketBytes, when positive, coalesces consecutive layers'
 	// gradients into buckets of at least this size before the
-	// multi-stage reduction (SC-OBR only) — the gradient-fusion
-	// optimization later frameworks (PyTorch DDP) standardized.
-	// Zero reduces strictly per layer, as the paper does.
+	// multi-stage reduction (SC-OBR and SC-OBR-F) — the
+	// gradient-fusion optimization FireCaffe introduced and later
+	// frameworks (PyTorch DDP) standardized. Zero reduces strictly
+	// per layer under SC-OBR, as the paper does; under SC-OBR-F it
+	// defaults to 4 MiB.
 	BucketBytes int64
 
 	// BaseLR, Momentum, WeightDecay are the solver hyper-parameters
@@ -210,7 +220,7 @@ func (c *Config) validate() error {
 		return fmt.Errorf("core: strong scaling needs batch %d divisible by %d workers", c.GlobalBatch, workers)
 	}
 	switch c.Design {
-	case SCB, SCOB, SCOBR, CaffeMT, CNTKLike, ParamServer, ModelParallel:
+	case SCB, SCOB, SCOBR, SCOBRF, CaffeMT, CNTKLike, ParamServer, ModelParallel:
 	default:
 		return fmt.Errorf("core: unknown design %d", int(c.Design))
 	}
@@ -227,6 +237,42 @@ func (c *Config) validate() error {
 		if c.RealNet != nil {
 			return fmt.Errorf("core: parameter-server design is timing-only (no real-compute support)")
 		}
+	}
+	return nil
+}
+
+// normalize fills defaulted fields in place: reader queue depth,
+// cluster geometry (Cluster-A: 16-GPU nodes, as many as the ranks
+// need), and SC-OBR-F's bucket size. Every entry point goes through
+// validateAndDefault, so code after it sees only concrete values.
+func (c *Config) normalize() {
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2
+	}
+	if c.GPUsPerNode == 0 {
+		c.GPUsPerNode = 16
+	}
+	if c.Nodes == 0 {
+		c.Nodes = (c.GPUs + c.GPUsPerNode - 1) / c.GPUsPerNode
+	}
+	if c.Design == SCOBRF && c.BucketBytes == 0 {
+		c.BucketBytes = 4 << 20
+	}
+}
+
+// validateAndDefault validates the config, fills defaults, and then
+// checks the constraints that only make sense on a normalized config
+// (cluster capacity, Caffe's single-node limit).
+func (c *Config) validateAndDefault() error {
+	if err := c.validate(); err != nil {
+		return err
+	}
+	c.normalize()
+	if c.Nodes*c.GPUsPerNode < c.GPUs {
+		return fmt.Errorf("core: cluster %dx%d too small for %d GPUs", c.Nodes, c.GPUsPerNode, c.GPUs)
+	}
+	if c.Design == CaffeMT && c.GPUs > c.GPUsPerNode {
+		return fmt.Errorf("core: Caffe is single-node multi-threaded; %d GPUs exceed the node's %d", c.GPUs, c.GPUsPerNode)
 	}
 	return nil
 }
@@ -259,6 +305,26 @@ type Phases struct {
 // Total sums the accounted phases.
 func (p Phases) Total() sim.Duration {
 	return p.DataWait + p.Propagation + p.Forward + p.Backward + p.Aggregation + p.Update
+}
+
+// add accumulates a span into the named phase's bucket; unknown phase
+// names (wire spans and other diagnostics) are not part of the
+// blocked-time breakdown and are ignored.
+func (p *Phases) add(phase string, d sim.Duration) {
+	switch phase {
+	case "data":
+		p.DataWait += d
+	case "propagation":
+		p.Propagation += d
+	case "forward":
+		p.Forward += d
+	case "backward":
+		p.Backward += d
+	case "aggregation":
+		p.Aggregation += d
+	case "update":
+		p.Update += d
+	}
 }
 
 // Result reports one run's outcome.

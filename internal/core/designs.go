@@ -1,264 +1,381 @@
 package core
 
 import (
+	"fmt"
+
 	"scaffe/internal/coll"
-	"scaffe/internal/gpu"
 	"scaffe/internal/mpi"
+	"scaffe/internal/sched"
 	"scaffe/internal/sim"
 	"scaffe/internal/topology"
 )
 
-// runSCB is the S-Caffe Basic pipeline (Section 4.1): blocking
+// Each training design is a graph-construction policy: one iteration
+// becomes a sched.Graph whose edges encode where communication is
+// posted and waited relative to per-layer compute — the only axis
+// along which the paper's designs differ. The node actions reuse the
+// runState/workload context; the scheduler supplies ordering, waiting,
+// and trace emission.
+
+// buildIteration constructs iteration it's dependency graph for rank r
+// under the configured design. ModelParallel keeps its pipeline loop
+// (see modelparallel.go): its ranks run different layer ranges, not
+// different overlap policies.
+func (st *runState) buildIteration(r *mpi.Rank, it int) *sched.Graph {
+	g := sched.New(r)
+	switch st.cfg.Design {
+	case SCB, CaffeMT:
+		st.buildSCB(g, r, it)
+	case SCOB:
+		st.buildSCOB(g, r, it)
+	case SCOBR, SCOBRF:
+		st.buildSCOBR(g, r, it)
+	case CNTKLike:
+		st.buildCNTK(g, r, it)
+	case ParamServer:
+		st.buildPS(g, r, it)
+	}
+	return g
+}
+
+// buildSCB is the S-Caffe Basic policy (Section 4.1): blocking
 // CUDA-aware broadcast of the packed parameters, sequential
 // forward/backward, blocking reduce of the packed gradients. CaffeMT
-// shares this loop (its transfers resolve to intra-node IPC and its
+// shares this graph (its transfers resolve to intra-node IPC and its
 // data plane is the single shared reader).
-func (st *runState) runSCB(r *mpi.Rank) {
+func (st *runState) buildSCB(g *sched.Graph, r *mpi.Rank, it int) {
 	w := st.wl[r.ID]
-	ph := &st.phases[r.ID]
 	root := r.ID == 0
-	for it := 0; it < st.cfg.Iterations; it++ {
-		st.dataWait(r, w, ph, it)
-		st.timed(r, &ph.Propagation, "propagation", func() {
-			if root {
-				w.packParams()
-			}
-			r.Bcast(st.comm, 0, w.packedParams, topology.ModeAuto)
-			if !root {
-				w.unpackParams()
-			}
-		})
-		st.forwardPass(r, w, ph)
-		st.backwardPass(r, w, ph)
-		st.timed(r, &ph.Aggregation, "aggregation", func() {
-			st.red.Reduce(r, w.packedGrads, tagPackedReduce)
-		})
+	st.addDataWait(g, r, w, it)
+	g.Add(0, sched.Pack, "propagation", "pack-params", func(x *sched.Ctx) {
 		if root {
-			st.applyUpdate(r, w, ph, it, st.workerCount())
+			w.packParams()
 		}
+	})
+	g.Add(0, sched.WaitBcast, "propagation", "bcast-params", func(x *sched.Ctx) {
+		x.R.Bcast(st.comm, 0, w.packedParams, topology.ModeAuto)
+	})
+	g.Add(0, sched.Unpack, "propagation", "unpack-params", func(x *sched.Ctx) {
+		if !root {
+			w.unpackParams()
+		}
+	})
+	st.addForward(g, w)
+	st.addBackward(g, w)
+	g.Add(0, sched.Reduce, "aggregation", "reduce-grads", func(x *sched.Ctx) {
+		st.red.Reduce(x.R, w.packedGrads, tagPackedReduce)
+	})
+	if root {
+		st.addUpdate(g, w, it, st.workerCount())
 	}
 }
 
-// postPropagation posts every parameter layer's Ibcast up front
-// (Figure 5's multi-stage on-demand design) and returns the per-layer
-// requests.
-func (st *runState) postPropagation(r *mpi.Rank, w *workload) []*mpi.Request {
-	if r.ID == 0 {
-		w.packParams()
-	}
-	reqs := make([]*mpi.Request, len(st.cfg.Spec.Layers))
-	for l, buf := range w.layerParam {
-		if buf != nil {
-			reqs[l] = r.Ibcast(st.comm, 0, buf, topology.ModeAuto)
-		}
-	}
-	return reqs
-}
-
-// overlappedForward runs the forward pass, placing each layer's
-// MPI_Wait immediately before the layer that consumes the data — too
-// early wastes overlap, too late stalls compute (Section 4.2).
-func (st *runState) overlappedForward(r *mpi.Rank, w *workload, ph *Phases, reqs []*mpi.Request) {
+// buildSCOB is SC-B plus the overlapped multi-stage data propagation
+// (Section 4.2): every layer's Ibcast is posted up front and each wait
+// sits immediately before the layer that consumes the data.
+func (st *runState) buildSCOB(g *sched.Graph, r *mpi.Rank, it int) {
+	w := st.wl[r.ID]
 	root := r.ID == 0
-	w.beginForward()
-	for l := range st.cfg.Spec.Layers {
-		if reqs[l] != nil && !root {
-			st.timed(r, &ph.Propagation, "propagation", func() {
-				r.Wait(reqs[l])
-				w.unpackLayerParams(l)
+	st.addDataWait(g, r, w, it)
+	slots, drain := st.addPostPropagation(g, r, w)
+	st.addOverlappedForward(g, w, slots, root)
+	st.addBackward(g, w)
+	g.Add(0, sched.Reduce, "aggregation", "reduce-grads", func(x *sched.Ctx) {
+		st.red.Reduce(x.R, w.packedGrads, tagPackedReduce)
+	})
+	if root {
+		st.addDrainSends(g, drain)
+		st.addUpdate(g, w, it, st.workerCount())
+	}
+}
+
+// buildSCOBR is the full co-design (Section 4.3): overlapped
+// propagation plus helper-lane gradient aggregation. The backward
+// kernels run on a helper lane; each layer's (or bucket's) reduce node
+// depends on the helper node that produced its gradients, so layer n's
+// reduce overlaps layer n−1's backward compute. SC-OBR-F shares this
+// builder — normalization guarantees it always has buckets.
+func (st *runState) buildSCOBR(g *sched.Graph, r *mpi.Rank, it int) {
+	w := st.wl[r.ID]
+	root := r.ID == 0
+	nLayers := len(st.cfg.Spec.Layers)
+	st.addDataWait(g, r, w, it)
+	slots, drain := st.addPostPropagation(g, r, w)
+	st.addOverlappedForward(g, w, slots, root)
+
+	begin := g.Add(0, sched.Generic, "", "begin-backward", func(x *sched.Ctx) { w.beginBackward() })
+	helper := g.Lane("helper")
+	bwd := make([]*sched.Node, nLayers)
+	for l := nLayers - 1; l >= 0; l-- {
+		bwd[l] = st.addBackwardLayer(g, helper, w, l)
+	}
+	bwd[nLayers-1].After(begin)
+
+	if len(w.buckets) > 0 {
+		// Fused aggregation: a bucket's gradients are complete once its
+		// lowest layer's backward finishes.
+		for bi, b := range w.buckets {
+			bi, bucket := bi, b
+			g.Add(0, sched.Generic, "", fmt.Sprintf("grads-ready:b%d", bi), nil).
+				After(bwd[bucket.lo]).WaitingIn("backward")
+			g.Add(0, sched.Reduce, "aggregation", fmt.Sprintf("reduce:b%d", bi), func(x *sched.Ctx) {
+				st.red.Reduce(x.R, bucket.buf, tagLayerReduce+4*bi)
 			})
 		}
-		st.forwardLayer(r, w, ph, l)
+	} else {
+		for l := nLayers - 1; l >= 0; l-- {
+			if w.layerGrad[l] == nil {
+				continue
+			}
+			l := l
+			g.Add(0, sched.Generic, "", fmt.Sprintf("grads-ready:%d", l), nil).
+				After(bwd[l]).WaitingIn("backward")
+			g.Add(0, sched.Reduce, "aggregation", fmt.Sprintf("reduce:%d", l), func(x *sched.Ctx) {
+				st.red.Reduce(x.R, w.layerGrad[l], tagLayerReduce+4*l)
+			})
+		}
+	}
+	g.Add(0, sched.Generic, "", "join-backward", nil).After(bwd[0]).WaitingIn("backward")
+
+	if root {
+		st.addDrainSends(g, drain)
+		st.addUpdate(g, w, it, st.workerCount())
 	}
 }
 
-// drainRootSends completes the root's outstanding broadcast sends; the
-// root must not modify parameters (ApplyUpdate) while the network may
-// still be reading them.
-func (st *runState) drainRootSends(r *mpi.Rank, ph *Phases, reqs []*mpi.Request) {
-	st.timed(r, &ph.Propagation, "propagation", func() {
-		for _, req := range reqs {
-			if req != nil {
-				r.Wait(req)
+// buildCNTK models an MPI DL framework without CUDA-awareness or
+// overlap, but with a competent host-side collective (CNTK's 1-bit-SGD
+// lineage used MPI allreduce with its own multi-threaded reduction):
+// gradients are staged to the host, ring-allreduced there, staged
+// back, and every rank applies the update locally — the design axes of
+// Table 1.
+func (st *runState) buildCNTK(g *sched.Graph, r *mpi.Rank, it int) {
+	w := st.wl[r.ID]
+	hostOpts := coll.Options{OnGPU: false, HostReduceBW: 20e9, Mode: topology.ModeHost}
+	host := topology.HostOf(r.Dev.ID.Node)
+	st.addDataWait(g, r, w, it)
+	st.addForward(g, w)
+	st.addBackward(g, w)
+	g.Add(0, sched.Reduce, "aggregation", "host-allreduce", func(x *sched.Ctx) {
+		gradBytes := w.packedGrads.Bytes
+		_, end := st.cluster.Transfer(x.P.Now(), r.Dev.ID, host, gradBytes, topology.ModeAuto)
+		x.P.WaitUntil(end)
+		if st.comm.Size() > 1 {
+			coll.RingAllreduce(st.comm, x.R, w.packedGrads, tagPackedReduce, hostOpts)
+		}
+		_, end = st.cluster.Transfer(x.P.Now(), host, r.Dev.ID, gradBytes, topology.ModeAuto)
+		x.P.WaitUntil(end)
+	})
+	st.addLocalUpdate(g, r, w, it)
+}
+
+// buildPS models the Inspur-style parameter server: rank 0 serves
+// parameters and aggregates gradients sequentially; ranks 1..N−1
+// train. The single server's links and reduce kernels serialize all
+// workers — the scalability argument of Section 3.1.
+func (st *runState) buildPS(g *sched.Graph, r *mpi.Rank, it int) {
+	w := st.wl[r.ID]
+	workers := st.cfg.GPUs - 1
+	if r.ID == 0 {
+		g.Add(0, sched.PostBcast, "propagation", "serve-params", func(x *sched.Ctx) {
+			for wk := 1; wk <= workers; wk++ {
+				x.R.Send(st.comm, wk, tagPS, w.packedParams, topology.ModeAuto)
 			}
+		})
+		g.Add(0, sched.Reduce, "aggregation", "collect-grads", func(x *sched.Ctx) {
+			for wk := 1; wk <= workers; wk++ {
+				x.R.Recv(st.comm, wk, tagPS+1, st.psScratch)
+				_, end := x.R.Dev.LaunchReduce(x.P.Now(), st.psScratch.Bytes)
+				x.P.WaitUntil(end)
+			}
+		})
+		st.addUpdate(g, w, it, workers)
+		return
+	}
+	st.addDataWait(g, r, w, it)
+	g.Add(0, sched.WaitBcast, "propagation", "recv-params", func(x *sched.Ctx) {
+		x.R.Recv(st.comm, 0, tagPS, w.packedParams)
+	})
+	st.addForward(g, w)
+	st.addBackward(g, w)
+	g.Add(0, sched.Reduce, "aggregation", "send-grads", func(x *sched.Ctx) {
+		x.R.Send(st.comm, 0, tagPS+1, w.packedGrads, topology.ModeAuto)
+	})
+}
+
+// --- shared node factories ------------------------------------------------
+
+// addDataWait starts an iteration: the framework's fixed per-iteration
+// overhead (untraced, as in the original accounting), then the blocking
+// read from this rank's reader queue plus the real-mode batch load.
+func (st *runState) addDataWait(g *sched.Graph, r *mpi.Rank, w *workload, it int) {
+	g.Add(0, sched.Generic, "", "iter-overhead", func(x *sched.Ctx) {
+		x.P.Sleep(st.cluster.P.IterOverhead)
+	})
+	g.Add(0, sched.DataWait, "data", "data-wait", func(x *sched.Ctx) {
+		if rd := st.readers[r.ID]; rd != nil {
+			rd.Next(x.P)
+		}
+		if w.real() {
+			rankOffset := st.workerIndex(r) * w.localBatch
+			w.loadBatch(st.cfg.Dataset, it, w.localBatch*st.workerCount(), rankOffset)
 		}
 	})
 }
 
-// runSCOB is SC-B plus the overlapped multi-stage data propagation.
-func (st *runState) runSCOB(r *mpi.Rank) {
-	w := st.wl[r.ID]
-	ph := &st.phases[r.ID]
-	root := r.ID == 0
-	for it := 0; it < st.cfg.Iterations; it++ {
-		st.dataWait(r, w, ph, it)
-		reqs := st.postPropagation(r, w)
-		st.overlappedForward(r, w, ph, reqs)
-		st.backwardPass(r, w, ph)
-		st.timed(r, &ph.Aggregation, "aggregation", func() {
-			st.red.Reduce(r, w.packedGrads, tagPackedReduce)
-		})
-		if root {
-			st.drainRootSends(r, ph, reqs)
-			st.applyUpdate(r, w, ph, it, st.workerCount())
-		}
+// addPostPropagation posts every parameter layer's Ibcast up front
+// (Figure 5's multi-stage on-demand design). It returns per-layer
+// slots (for the consuming layers' waits) and a drain slot holding all
+// requests (for the root's send completion). When tracing, each
+// request's completion hook records the wire-level span of the
+// offloaded broadcast — the overlap Summary measures.
+func (st *runState) addPostPropagation(g *sched.Graph, r *mpi.Rank, w *workload) ([]*sched.Slot, *sched.Slot) {
+	slots := make([]*sched.Slot, len(st.cfg.Spec.Layers))
+	for l := range slots {
+		slots[l] = sched.NewSlot()
 	}
-}
-
-// runSCOBR is the full co-design: overlapped propagation plus
-// helper-thread gradient aggregation (Section 4.3). A helper thread
-// drives the backward kernels and signals per-layer completion through
-// a condition flag; the main thread issues that layer's reduction as
-// soon as its gradient is ready, so layer n's reduce overlaps layer
-// n−1's backward compute.
-func (st *runState) runSCOBR(r *mpi.Rank) {
-	w := st.wl[r.ID]
-	ph := &st.phases[r.ID]
-	root := r.ID == 0
-	k := r.W.K
-	nLayers := len(st.cfg.Spec.Layers)
-
-	for it := 0; it < st.cfg.Iterations; it++ {
-		st.dataWait(r, w, ph, it)
-		reqs := st.postPropagation(r, w)
-		st.overlappedForward(r, w, ph, reqs)
-
-		// Backward with helper-thread control-flow split.
-		w.beginBackward()
-		flags := make([]*sim.Flag, nLayers)
-		for l := range flags {
-			flags[l] = k.NewFlag()
+	drain := sched.NewSlot()
+	g.Add(0, sched.PostBcast, "", "post-bcasts", func(x *sched.Ctx) {
+		if r.ID == 0 {
+			w.packParams()
 		}
-		done := k.NewFlag()
-		r.SpawnThread("helper", func(hp *sim.Proc) {
-			for l := nLayers - 1; l >= 0; l-- {
-				flops := st.cfg.Spec.Layers[l].BwdFLOPs * float64(w.localBatch)
-				_, end := r.Dev.LaunchCompute(hp.Now(), flops)
-				w.backwardLayer(l)
-				hp.WaitUntil(end)
-				flags[l].Set()
+		for l, buf := range w.layerParam {
+			if buf == nil {
+				continue
 			}
-			done.Set()
-		})
-		if len(w.buckets) > 0 {
-			// Fused (bucketed) aggregation: a bucket's gradients are
-			// complete once its lowest layer's backward finishes.
-			for bi, b := range w.buckets {
-				bucket := b
-				st.timed(r, &ph.Backward, "backward", func() { flags[bucket.lo].WaitSet(r.Proc) })
-				st.timed(r, &ph.Aggregation, "aggregation", func() {
-					st.red.Reduce(r, bucket.buf, tagLayerReduce+4*bi)
-				})
-			}
-		} else {
-			for l := nLayers - 1; l >= 0; l-- {
-				if w.layerGrad[l] == nil {
-					continue
-				}
-				layer := l
-				st.timed(r, &ph.Backward, "backward", func() { flags[layer].WaitSet(r.Proc) })
-				st.timed(r, &ph.Aggregation, "aggregation", func() {
-					st.red.Reduce(r, w.layerGrad[layer], tagLayerReduce+4*layer)
+			req := x.R.Ibcast(st.comm, 0, buf, topology.ModeAuto)
+			slots[l].Put(req)
+			drain.Put(req)
+			if st.cfg.Trace != nil {
+				req := req
+				post, label, rank := x.P.Now(), fmt.Sprintf("bcast:%d", l), r.ID
+				req.OnComplete(func() {
+					st.cfg.Trace.AddNode(rank, "bcast-wire", label, post, req.CompletedAt())
 				})
 			}
 		}
-		st.timed(r, &ph.Backward, "backward", func() { done.WaitSet(r.Proc) })
+	})
+	return slots, drain
+}
 
-		if root {
-			st.drainRootSends(r, ph, reqs)
-			st.applyUpdate(r, w, ph, it, st.workerCount())
+// addOverlappedForward places each layer's broadcast wait immediately
+// before the layer that consumes the data — too early wastes overlap,
+// too late stalls compute (Section 4.2).
+func (st *runState) addOverlappedForward(g *sched.Graph, w *workload, slots []*sched.Slot, root bool) {
+	g.Add(0, sched.Generic, "", "begin-forward", func(x *sched.Ctx) { w.beginForward() })
+	for l := range st.cfg.Spec.Layers {
+		if w.layerParam[l] != nil && !root {
+			l := l
+			g.Add(0, sched.WaitBcast, "propagation", fmt.Sprintf("wait-bcast:%d", l), func(x *sched.Ctx) {
+				w.unpackLayerParams(l)
+			}).Gated(slots[l])
 		}
+		st.addForwardLayer(g, w, l)
 	}
 }
 
-// runCNTK models an MPI DL framework without CUDA-awareness or
-// overlap, but with a competent host-side collective (CNTK's 32-bit
-// SGD used MPI allreduce with its own multi-threaded reduction):
-// gradients are staged to the host, ring-allreduced there, staged
-// back, and every rank applies the update locally. No overlap with
-// compute, no GPU kernels in the reduction, no GDR — the design axes
-// of Table 1.
-func (st *runState) runCNTK(r *mpi.Rank) {
-	w := st.wl[r.ID]
-	ph := &st.phases[r.ID]
-	cl := st.cluster
-	hostOpts := coll.Options{OnGPU: false, HostReduceBW: 20e9, Mode: topology.ModeHost}
-	gradBytes := w.packedGrads.Bytes
-	host := topology.HostOf(r.Dev.ID.Node)
-
-	for it := 0; it < st.cfg.Iterations; it++ {
-		st.dataWait(r, w, ph, it)
-		st.forwardPass(r, w, ph)
-		st.backwardPass(r, w, ph)
-		st.timed(r, &ph.Aggregation, "aggregation", func() {
-			_, end := cl.Transfer(r.Now(), r.Dev.ID, host, gradBytes, topology.ModeAuto)
-			r.Proc.WaitUntil(end)
-			if st.comm.Size() > 1 {
-				coll.RingAllreduce(st.comm, r, w.packedGrads, tagPackedReduce, hostOpts)
-			}
-			_, end = cl.Transfer(r.Now(), host, r.Dev.ID, gradBytes, topology.ModeAuto)
-			r.Proc.WaitUntil(end)
-		})
-		// Every replica updates locally with the averaged gradient.
-		st.localUpdate(r, w, ph, it)
+// addForward runs the full forward pass sequentially.
+func (st *runState) addForward(g *sched.Graph, w *workload) {
+	g.Add(0, sched.Generic, "", "begin-forward", func(x *sched.Ctx) { w.beginForward() })
+	for l := range st.cfg.Spec.Layers {
+		st.addForwardLayer(g, w, l)
 	}
 }
 
-// runPS models the Inspur-style parameter server: rank 0 serves
-// parameters and aggregates gradients sequentially; ranks 1..N−1
-// train. The single server's links and reduce kernels serialize all
-// workers — the scalability argument of Section 3.1.
-func (st *runState) runPS(r *mpi.Rank) {
-	w := st.wl[r.ID]
-	ph := &st.phases[r.ID]
-	workers := st.cfg.GPUs - 1
-	if r.ID == 0 {
-		scratch := gpu.NewBuffer(w.packedGrads.Bytes)
-		for it := 0; it < st.cfg.Iterations; it++ {
-			st.timed(r, &ph.Propagation, "propagation", func() {
-				for wk := 1; wk <= workers; wk++ {
-					r.Send(st.comm, wk, tagPS, w.packedParams, topology.ModeAuto)
-				}
-			})
-			st.timed(r, &ph.Aggregation, "aggregation", func() {
-				for wk := 1; wk <= workers; wk++ {
-					r.Recv(st.comm, wk, tagPS+1, scratch)
-					_, end := r.Dev.LaunchReduce(r.Now(), scratch.Bytes)
-					r.Proc.WaitUntil(end)
-				}
-			})
-			st.applyUpdate(r, w, ph, it, workers)
+// addForwardLayer runs one layer's forward kernel (and real math).
+func (st *runState) addForwardLayer(g *sched.Graph, w *workload, l int) *sched.Node {
+	return g.Add(0, sched.ComputeForward, "forward", fmt.Sprintf("fwd:%d", l), func(x *sched.Ctx) {
+		flops := st.cfg.Spec.Layers[l].FwdFLOPs * float64(w.localBatch)
+		_, end := x.R.Dev.LaunchCompute(x.P.Now(), flops)
+		w.forwardLayer(l)
+		x.P.WaitUntil(end)
+	})
+}
+
+// addBackward runs the full backward pass serially on lane 0 (SC-B /
+// SC-OB / the baselines).
+func (st *runState) addBackward(g *sched.Graph, w *workload) {
+	g.Add(0, sched.Generic, "", "begin-backward", func(x *sched.Ctx) { w.beginBackward() })
+	for l := len(st.cfg.Spec.Layers) - 1; l >= 0; l-- {
+		st.addBackwardLayer(g, 0, w, l)
+	}
+}
+
+// addBackwardLayer runs one layer's backward kernel (and real math) on
+// the given lane.
+func (st *runState) addBackwardLayer(g *sched.Graph, lane int, w *workload, l int) *sched.Node {
+	phase := "backward"
+	return g.Add(lane, sched.ComputeBackward, phase, fmt.Sprintf("bwd:%d", l), func(x *sched.Ctx) {
+		flops := st.cfg.Spec.Layers[l].BwdFLOPs * float64(w.localBatch)
+		_, end := x.R.Dev.LaunchCompute(x.P.Now(), flops)
+		w.backwardLayer(l)
+		x.P.WaitUntil(end)
+	})
+}
+
+// addDrainSends completes the root's outstanding broadcast sends; the
+// root must not modify parameters (ApplyUpdate) while the network may
+// still be reading them.
+func (st *runState) addDrainSends(g *sched.Graph, drain *sched.Slot) {
+	g.Add(0, sched.DrainSends, "propagation", "drain-bcasts", nil).Gated(drain)
+}
+
+// addUpdate performs the root solver's ApplyUpdate — unpack the
+// reduced gradients, run the SGD arithmetic (scaled to average the
+// per-solver mean gradients), charge the kernel time — followed by the
+// untimed bookkeeping (loss recording, testing, snapshotting).
+func (st *runState) addUpdate(g *sched.Graph, w *workload, it, workers int) {
+	g.Add(0, sched.Update, "update", "update", func(x *sched.Ctx) {
+		_, end := x.R.Dev.LaunchCompute(x.P.Now(), updateFLOPs(st.cfg.Spec.TotalParams()))
+		if w.real() {
+			w.unpackGrads()
+			st.sgds[0].Step(w.net, it, 1/float32(workers))
 		}
-		return
-	}
-	for it := 0; it < st.cfg.Iterations; it++ {
-		st.dataWait(r, w, ph, it)
-		st.timed(r, &ph.Propagation, "propagation", func() {
-			r.Recv(st.comm, 0, tagPS, w.packedParams)
-		})
-		st.forwardPass(r, w, ph)
-		st.backwardPass(r, w, ph)
-		st.timed(r, &ph.Aggregation, "aggregation", func() {
-			r.Send(st.comm, 0, tagPS+1, w.packedGrads, topology.ModeAuto)
-		})
-	}
+		x.P.WaitUntil(end)
+	})
+	g.Add(0, sched.Generic, "", "post-update", func(x *sched.Ctx) {
+		if w.real() {
+			st.losses = append(st.losses, w.loss())
+		}
+		st.maybeEvaluate(x.R, w, it)
+	})
 }
 
-// localUpdate applies the update on this rank (designs whose replicas
-// all hold the averaged gradient).
-func (st *runState) localUpdate(r *mpi.Rank, w *workload, ph *Phases, it int) {
-	st.timed(r, &ph.Update, "update", func() {
-		_, end := r.Dev.LaunchCompute(r.Now(), updateFLOPs(st.cfg.Spec.TotalParams()))
+// addLocalUpdate applies the update on this rank (designs whose
+// replicas all hold the averaged gradient); only the root records
+// losses and runs the testing phase.
+func (st *runState) addLocalUpdate(g *sched.Graph, r *mpi.Rank, w *workload, it int) {
+	g.Add(0, sched.Update, "update", "local-update", func(x *sched.Ctx) {
+		_, end := x.R.Dev.LaunchCompute(x.P.Now(), updateFLOPs(st.cfg.Spec.TotalParams()))
 		if w.real() {
 			w.unpackGrads()
 			st.sgds[r.ID].Step(w.net, it, 1/float32(st.workerCount()))
 		}
-		r.Proc.WaitUntil(end)
+		x.P.WaitUntil(end)
 	})
-	if r.ID == 0 {
-		if w.real() {
-			st.losses = append(st.losses, w.loss())
+	g.Add(0, sched.Generic, "", "post-update", func(x *sched.Ctx) {
+		if r.ID == 0 {
+			if w.real() {
+				st.losses = append(st.losses, w.loss())
+			}
+			st.maybeEvaluate(x.R, w, it)
 		}
-		st.maybeEvaluate(r, w, it)
+	})
+}
+
+// nodeSink routes scheduler spans into the run's accounting: lane-0
+// spans accumulate into the rank's Phases (preserving the original
+// semantics of "time the main thread spends blocked per phase") and
+// every span lands on the trace recorder with its node label.
+type nodeSink struct {
+	st   *runState
+	rank int
+	ph   *Phases
+}
+
+func (s *nodeSink) NodeSpan(lane int, kind sched.Kind, phase, label string, start, end sim.Time) {
+	if lane == 0 {
+		s.ph.add(phase, end-start)
 	}
+	s.st.cfg.Trace.AddNode(s.rank, phase, label, start, end)
 }

@@ -36,6 +36,10 @@ type runState struct {
 	losses  []float32
 	sgds    []*solver.SGD
 
+	// psScratch is the parameter server's gradient receive buffer,
+	// allocated once for the whole run.
+	psScratch *gpu.Buffer
+
 	accuracies []float64
 	snapshots  []string
 	fileErr    error
@@ -52,24 +56,8 @@ func Run(cfg Config) (*Result, error) {
 }
 
 func run(cfg Config) (*Result, *runState, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.validateAndDefault(); err != nil {
 		return nil, nil, err
-	}
-	if cfg.QueueDepth == 0 {
-		cfg.QueueDepth = 2
-	}
-	nodes, perNode := cfg.Nodes, cfg.GPUsPerNode
-	if perNode == 0 {
-		perNode = 16
-	}
-	if nodes == 0 {
-		nodes = (cfg.GPUs + perNode - 1) / perNode
-	}
-	if nodes*perNode < cfg.GPUs {
-		return nil, nil, fmt.Errorf("core: cluster %dx%d too small for %d GPUs", nodes, perNode, cfg.GPUs)
-	}
-	if cfg.Design == CaffeMT && cfg.GPUs > perNode {
-		return nil, nil, fmt.Errorf("core: Caffe is single-node multi-threaded; %d GPUs exceed the node's %d", cfg.GPUs, perNode)
 	}
 
 	k := sim.New()
@@ -77,7 +65,7 @@ func run(cfg Config) (*Result, *runState, error) {
 	if cfg.Params != nil {
 		params = *cfg.Params
 	}
-	cluster := topology.New(k, "run", nodes, perNode, params)
+	cluster := topology.New(k, "run", cfg.Nodes, cfg.GPUsPerNode, params)
 
 	workers := cfg.GPUs
 	switch cfg.Design {
@@ -112,10 +100,13 @@ func run(cfg Config) (*Result, *runState, error) {
 			continue
 		}
 		w := newWorkload(&cfg, localBatch)
-		if cfg.BucketBytes > 0 && cfg.Design == SCOBR {
+		if cfg.BucketBytes > 0 && (cfg.Design == SCOBR || cfg.Design == SCOBRF) {
 			w.buildBuckets(cfg.Spec, cfg.BucketBytes)
 		}
 		st.wl = append(st.wl, w)
+	}
+	if cfg.Design == ParamServer {
+		st.psScratch = gpu.NewBuffer(st.wl[0].packedGrads.Bytes)
 	}
 	if cfg.RealNet != nil {
 		policy, err := buildPolicy(&cfg)
@@ -138,19 +129,13 @@ func run(cfg Config) (*Result, *runState, error) {
 		if cfg.DeviceMemory > 0 {
 			r.Dev.SetMemCapacity(cfg.DeviceMemory)
 		}
-		switch cfg.Design {
-		case SCB, CaffeMT:
-			st.runSCB(r)
-		case SCOB:
-			st.runSCOB(r)
-		case SCOBR:
-			st.runSCOBR(r)
-		case CNTKLike:
-			st.runCNTK(r)
-		case ParamServer:
-			st.runPS(r)
-		case ModelParallel:
+		if cfg.Design == ModelParallel {
 			st.runMP(r)
+			return
+		}
+		sink := &nodeSink{st: st, rank: r.ID, ph: &st.phases[r.ID]}
+		for it := 0; it < cfg.Iterations; it++ {
+			st.buildIteration(r, it).Execute(sink)
 		}
 	})
 	if err != nil {
@@ -291,57 +276,6 @@ func (st *runState) timed(r *mpi.Rank, acc *sim.Duration, phase string, fn func(
 	fn()
 	*acc += r.Now() - before
 	st.cfg.Trace.Add(r.ID, phase, before, r.Now())
-}
-
-// forwardPass runs the full forward with compute kernels (and real
-// math), charging blocked time to ph.Forward.
-func (st *runState) forwardPass(r *mpi.Rank, w *workload, ph *Phases) {
-	w.beginForward()
-	for l := range st.cfg.Spec.Layers {
-		st.forwardLayer(r, w, ph, l)
-	}
-}
-
-// forwardLayer runs one layer's forward kernel.
-func (st *runState) forwardLayer(r *mpi.Rank, w *workload, ph *Phases, l int) {
-	st.timed(r, &ph.Forward, "forward", func() {
-		flops := st.cfg.Spec.Layers[l].FwdFLOPs * float64(w.localBatch)
-		_, end := r.Dev.LaunchCompute(r.Now(), flops)
-		w.forwardLayer(l)
-		r.Proc.WaitUntil(end)
-	})
-}
-
-// backwardPass runs the full backward serially (SC-B / SC-OB / the
-// baselines), charging blocked time to ph.Backward.
-func (st *runState) backwardPass(r *mpi.Rank, w *workload, ph *Phases) {
-	w.beginBackward()
-	for l := len(st.cfg.Spec.Layers) - 1; l >= 0; l-- {
-		st.timed(r, &ph.Backward, "backward", func() {
-			flops := st.cfg.Spec.Layers[l].BwdFLOPs * float64(w.localBatch)
-			_, end := r.Dev.LaunchCompute(r.Now(), flops)
-			w.backwardLayer(l)
-			r.Proc.WaitUntil(end)
-		})
-	}
-}
-
-// applyUpdate performs the root solver's ApplyUpdate: unpack the
-// reduced gradients, run the SGD arithmetic (scaled to average the
-// per-solver mean gradients), and charge the kernel time.
-func (st *runState) applyUpdate(r *mpi.Rank, w *workload, ph *Phases, iter, workers int) {
-	st.timed(r, &ph.Update, "update", func() {
-		_, end := r.Dev.LaunchCompute(r.Now(), solver.UpdateFLOPs(st.cfg.Spec.TotalParams()))
-		if w.real() {
-			w.unpackGrads()
-			st.sgds[0].Step(w.net, iter, 1/float32(workers))
-		}
-		r.Proc.WaitUntil(end)
-	})
-	if w.real() {
-		st.losses = append(st.losses, w.loss())
-	}
-	st.maybeEvaluate(r, w, iter)
 }
 
 // dataWait starts an iteration: it charges the framework's fixed

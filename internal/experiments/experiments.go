@@ -105,6 +105,7 @@ func All() []Runner {
 		{"allreduce", "Extension: HR reduce+bcast vs ring allreduce retrospective", AllreduceRetrospective},
 		{"skew", "Extension: straggler sensitivity of chain vs binomial upper levels", Skew},
 		{"bucketing", "Extension: SC-OBR gradient-fusion granularity sweep", Bucketing},
+		{"scobrf", "Extension: SC-OBR-F fused-bucket design vs per-layer SC-OBR", SCOBRF},
 		{"mpdp", "Extension: data-parallel vs model-parallel (Table 1 design space)", MPvsDP},
 		{"accuracy", "Real-compute training equivalence (the §6.2 accuracy validation)", Accuracy},
 	}

@@ -182,6 +182,47 @@ func Bucketing(o Options) (*Table, error) {
 	return t, nil
 }
 
+// SCOBRF pits the paper's per-layer SC-OBR against the new SC-OBR-F
+// design (FireCaffe-style fixed-size gradient buckets) across scales.
+// It is the bucketing sweep promoted to a first-class pipeline: the
+// scheduler builds the same overlapped-backward graph but reduces a
+// fused bucket as soon as its last (in backward order) layer finishes.
+func SCOBRF(o Options) (*Table, error) {
+	spec := models.GoogLeNet()
+	iters := o.iters(5)
+	max := 160
+	if o.MaxGPUs > 0 && o.MaxGPUs < max {
+		max = o.MaxGPUs
+	}
+	t := &Table{
+		ID:      "scobrf",
+		Title:   "SC-OBR vs SC-OBR-F (fused buckets), GoogLeNet",
+		Columns: []string{"GPUs", "SC-OBR time/iter", "SC-OBR-F time/iter", "SC-OBR agg", "SC-OBR-F agg", "speedup"},
+	}
+	for _, gpus := range rankSweep([]int{32, 64, 160}, max) {
+		run := func(d core.Design) (*core.Result, error) {
+			cfg := scaffeConfig(spec, gpus, 8*gpus, iters)
+			cfg.Source = core.MemorySource
+			cfg.Design = d
+			return core.Run(cfg)
+		}
+		base, err := run(core.SCOBR)
+		if err != nil {
+			return nil, fmt.Errorf("scobrf base @%d: %w", gpus, err)
+		}
+		fused, err := run(core.SCOBRF)
+		if err != nil {
+			return nil, fmt.Errorf("scobrf fused @%d: %w", gpus, err)
+		}
+		t.AddRow(fmt.Sprint(gpus),
+			base.TimePerIter().String(), fused.TimePerIter().String(),
+			base.Phases.Aggregation.String(), fused.Phases.Aggregation.String(),
+			fmt.Sprintf("%.2fx", float64(base.TotalTime)/float64(fused.TotalTime)))
+	}
+	t.Note("Extension: SC-OBR-F keeps SC-OBR's helper-thread overlap but fuses GoogLeNet's ~58 small per-layer reduces into few-MB buckets (4 MB default), amortizing the per-collective latency that dominates aggregation at scale.")
+	return t, nil
+}
+
 // rankSweep caps a sweep at max, appending max itself if the sweep
 // would otherwise skip it, without duplicates.
 func rankSweep(sweep []int, max int) []int {

@@ -422,3 +422,61 @@ func TestWorldTooManyRanksPanics(t *testing.T) {
 	c := topology.New(k, "t", 1, 2, topology.DefaultParams())
 	NewWorld(c, 3)
 }
+
+func TestOnCompleteFiresAtCompletionTime(t *testing.T) {
+	// Rendezvous-sized Isend: the hook must fire when the transfer
+	// finishes (after the late receiver arrives), and CompletedAt must
+	// report that instant.
+	w := newWorld(t, 2, 1, 2)
+	c := w.WorldComm()
+	var hookAt, completedAt sim.Time
+	_, err := w.Run(func(r *Rank) {
+		if r.ID == 0 {
+			req := r.Isend(c, 1, 7, gpu.NewBuffer(1<<20), topology.ModeAuto)
+			req.OnComplete(func() { hookAt = r.Now() })
+			if req.Test() {
+				t.Error("rendezvous send completed before the receiver posted")
+			}
+			r.Wait(req)
+			completedAt = req.CompletedAt()
+		} else {
+			r.Sleep(500)
+			r.Recv(c, 0, 7, gpu.NewBuffer(1<<20))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hookAt < 500 {
+		t.Errorf("hook fired at %v, before the receiver arrived at 500", hookAt)
+	}
+	if hookAt != completedAt {
+		t.Errorf("hook time %v != CompletedAt %v", hookAt, completedAt)
+	}
+}
+
+func TestOnCompleteAfterCompletionRunsImmediately(t *testing.T) {
+	// Eager send: already complete when the hook registers; the hook
+	// still runs (scheduled for the current instant).
+	w := newWorld(t, 1, 2, 2)
+	c := w.WorldComm()
+	fired := false
+	_, err := w.Run(func(r *Rank) {
+		if r.ID == 0 {
+			req := r.Isend(c, 1, 7, gpu.NewBuffer(64), topology.ModeAuto)
+			if !req.Test() {
+				t.Error("eager send should complete immediately")
+			}
+			req.OnComplete(func() { fired = true })
+			r.Wait(req)
+		} else {
+			r.Recv(c, 0, 7, gpu.NewBuffer(64))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("hook on an already-completed request never ran")
+	}
+}

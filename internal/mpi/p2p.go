@@ -64,6 +64,18 @@ func (r *Rank) WaitAll(reqs ...*Request) {
 // reductions.
 func (req *Request) Test() bool { return req.deferred == nil && req.Done.Fired() }
 
+// OnComplete registers fn to run (in kernel context) when the request
+// completes; if it already completed, fn is scheduled immediately.
+// Deferred (CPU-progressed) requests complete only inside Wait, so
+// their hooks fire there — the same asymmetry the rest of the runtime
+// models. The scheduler uses these hooks for node readiness and for
+// recording wire-level spans of offloaded operations.
+func (req *Request) OnComplete(fn func()) { req.Done.OnFire(fn) }
+
+// CompletedAt returns the virtual time at which the request completed;
+// only meaningful once Test (or a hook) reports completion.
+func (req *Request) CompletedAt() sim.Time { return req.Done.FiredAt() }
+
 // NewDeferredRequest creates a request whose work runs inside Wait.
 // Exposed for package coll's CPU-progressed Ireduce.
 func (r *Rank) NewDeferredRequest(fn func()) *Request {

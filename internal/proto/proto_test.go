@@ -205,3 +205,28 @@ scaffe_reduce: "binomial"
 		t.Error("missing file should fail")
 	}
 }
+
+func TestParseSolverBucketedDesign(t *testing.T) {
+	cfg, err := ParseSolver(`net: "googlenet"
+scaffe_design: "scobrf"
+scaffe_bucket_bytes: 2097152`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Design != core.SCOBRF {
+		t.Errorf("design = %v, want SCOBRF", cfg.Design)
+	}
+	if cfg.BucketBytes != 2<<20 {
+		t.Errorf("bucket bytes = %d, want 2MiB", cfg.BucketBytes)
+	}
+	// Without the field the knob stays zero; core's normalization
+	// supplies SC-OBR-F's 4MiB default at run time.
+	plain, err := ParseSolver(`net: "googlenet"
+scaffe_design: "scobrf"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BucketBytes != 0 {
+		t.Errorf("bucket bytes = %d, want 0 before normalization", plain.BucketBytes)
+	}
+}

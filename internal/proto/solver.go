@@ -30,9 +30,10 @@ import (
 //	snapshot: 50
 //	snapshot_prefix: "snap/run"
 //	# --- S-Caffe extensions ---
-//	scaffe_design: "scobr"      # scb | scob | scobr | caffe | cntk | ps
+//	scaffe_design: "scobr"      # scb | scob | scobr | scobrf | caffe | cntk | ps
 //	scaffe_reduce: "hr"         # binomial | chain | cc | cb | ccb | hr | mv2 | openmpi | rsg
 //	scaffe_chain_size: 8
+//	scaffe_bucket_bytes: 4194304  # gradient fusion bucket (scobr/scobrf)
 //	scaffe_data: "imagedata"    # memory | lmdb | imagedata
 //	scaffe_gpus: 160
 //	scaffe_nodes: 12
@@ -42,7 +43,7 @@ const SolverFields = "see package documentation"
 
 // designNames maps prototxt design names to pipelines.
 var designNames = map[string]core.Design{
-	"scb": core.SCB, "scob": core.SCOB, "scobr": core.SCOBR,
+	"scb": core.SCB, "scob": core.SCOB, "scobr": core.SCOBR, "scobrf": core.SCOBRF,
 	"caffe": core.CaffeMT, "cntk": core.CNTKLike, "ps": core.ParamServer, "mp": core.ModelParallel,
 }
 
@@ -154,6 +155,11 @@ func ParseSolver(text string) (core.Config, error) {
 	if cfg.ReduceOpts.ChainSize, err = d.Int("scaffe_chain_size", 0); err != nil {
 		return cfg, err
 	}
+	bucket, err := d.Int("scaffe_bucket_bytes", 0)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.BucketBytes = int64(bucket)
 	cfg.ReduceOpts.OnGPU = true
 	switch scal := strings.ToLower(d.String("scaffe_scal", "strong")); scal {
 	case "strong":

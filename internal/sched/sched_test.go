@@ -1,0 +1,225 @@
+package sched
+
+import (
+	"testing"
+
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+type spanRec struct {
+	lane       int
+	kind       Kind
+	phase      string
+	label      string
+	start, end sim.Time
+}
+
+type recTracer struct{ spans []spanRec }
+
+func (t *recTracer) NodeSpan(lane int, kind Kind, phase, label string, start, end sim.Time) {
+	t.spans = append(t.spans, spanRec{lane, kind, phase, label, start, end})
+}
+
+func (t *recTracer) find(label string) *spanRec {
+	for i := range t.spans {
+		if t.spans[i].label == label {
+			return &t.spans[i]
+		}
+	}
+	return nil
+}
+
+func newWorld(ranks int) *mpi.World {
+	k := sim.New()
+	cl := topology.New(k, "t", 1, 16, topology.DefaultParams())
+	return mpi.NewWorld(cl, ranks)
+}
+
+func TestLaneZeroRunsInInsertionOrder(t *testing.T) {
+	w := newWorld(1)
+	tr := &recTracer{}
+	var order []string
+	_, err := w.Run(func(r *mpi.Rank) {
+		g := New(r)
+		g.Add(0, ComputeForward, "forward", "a", func(x *Ctx) {
+			order = append(order, "a")
+			x.P.Sleep(10)
+		})
+		g.Add(0, Generic, "", "book", func(x *Ctx) { order = append(order, "book") })
+		g.Add(0, ComputeBackward, "backward", "b", func(x *Ctx) {
+			order = append(order, "b")
+			x.P.Sleep(5)
+		})
+		g.Execute(tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "book" || order[2] != "b" {
+		t.Fatalf("order = %v", order)
+	}
+	if w.K.Now() != 15 {
+		t.Errorf("final time = %v, want 15", w.K.Now())
+	}
+	// Untraced and zero-length nodes emit nothing; timed actions do.
+	if len(tr.spans) != 2 {
+		t.Fatalf("spans = %+v", tr.spans)
+	}
+	a := tr.find("a")
+	if a == nil || a.phase != "forward" || a.kind != ComputeForward || a.start != 0 || a.end != 10 {
+		t.Errorf("span a = %+v", a)
+	}
+	b := tr.find("b")
+	if b == nil || b.start != 10 || b.end != 15 {
+		t.Errorf("span b = %+v", b)
+	}
+}
+
+func TestCrossLaneDependencyAndWaitPhase(t *testing.T) {
+	w := newWorld(1)
+	tr := &recTracer{}
+	_, err := w.Run(func(r *mpi.Rank) {
+		g := New(r)
+		helper := g.Lane("helper")
+		begin := g.Add(0, Generic, "", "begin", nil)
+		hw := g.Add(helper, ComputeBackward, "backward", "bwd", func(x *Ctx) {
+			x.P.Sleep(40)
+		}).After(begin)
+		g.Add(0, Reduce, "aggregation", "reduce", func(x *Ctx) {
+			x.P.Sleep(7)
+		}).After(hw).WaitingIn("backward")
+		g.Execute(tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.K.Now() != 47 {
+		t.Errorf("final time = %v, want 47", w.K.Now())
+	}
+	wait := tr.find("reduce/wait")
+	if wait == nil || wait.phase != "backward" || wait.lane != 0 || wait.start != 0 || wait.end != 40 {
+		t.Errorf("wait span = %+v", wait)
+	}
+	red := tr.find("reduce")
+	if red == nil || red.phase != "aggregation" || red.start != 40 || red.end != 47 {
+		t.Errorf("reduce span = %+v", red)
+	}
+	bwd := tr.find("bwd")
+	if bwd == nil || bwd.lane != 1 || bwd.end != 40 {
+		t.Errorf("helper span = %+v", bwd)
+	}
+}
+
+func TestExecuteJoinsUnreferencedHelperLane(t *testing.T) {
+	w := newWorld(1)
+	_, err := w.Run(func(r *mpi.Rank) {
+		g := New(r)
+		helper := g.Lane("helper")
+		g.Add(helper, Generic, "", "slow", func(x *Ctx) { x.P.Sleep(100) })
+		g.Add(0, Generic, "", "fast", func(x *Ctx) { x.P.Sleep(1) })
+		g.Execute(nil)
+		// Execute must not return before the helper lane finishes.
+		if r.Now() != 100 {
+			t.Errorf("Execute returned at %v, want 100", r.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestGateWaitsTransfer(t *testing.T) {
+	w := newWorld(2)
+	tr := &recTracer{}
+	comm := w.WorldComm()
+	// Rendezvous-sized message so the send completes only when the
+	// receiver shows up.
+	const bytes = 1 << 20
+	_, err := w.Run(func(r *mpi.Rank) {
+		if r.ID == 1 {
+			r.Sleep(1000)
+			r.Recv(comm, 0, 9, gpu.NewBuffer(bytes))
+			return
+		}
+		g := New(r)
+		slot := NewSlot()
+		g.Add(0, PostBcast, "", "post", func(x *Ctx) {
+			slot.Put(x.R.Isend(comm, 1, 9, gpu.NewBuffer(bytes), topology.ModeAuto))
+		})
+		g.Add(0, DrainSends, "propagation", "drain", nil).Gated(slot)
+		g.Execute(tr)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain := tr.find("drain/wait")
+	if drain == nil || drain.phase != "propagation" {
+		t.Fatalf("drain span = %+v (spans %+v)", drain, tr.spans)
+	}
+	if drain.start != 0 || drain.end < 1000 {
+		t.Errorf("drain waited [%v,%v]; want start 0, end past the receiver's arrival", drain.start, drain.end)
+	}
+}
+
+func TestSlotIgnoresNilRequests(t *testing.T) {
+	s := NewSlot()
+	s.Put(nil)
+	if len(s.reqs) != 0 {
+		t.Error("nil request stored")
+	}
+}
+
+func TestForwardSameLaneDependencyPanics(t *testing.T) {
+	w := newWorld(1)
+	_, err := w.Run(func(r *mpi.Rank) {
+		g := New(r)
+		a := g.Add(0, Generic, "", "a", nil)
+		b := g.Add(0, Generic, "", "b", nil)
+		defer func() {
+			if recover() == nil {
+				t.Error("forward same-lane dependency should panic")
+			}
+		}()
+		a.After(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateOffMainLanePanics(t *testing.T) {
+	w := newWorld(1)
+	_, err := w.Run(func(r *mpi.Rank) {
+		g := New(r)
+		helper := g.Lane("helper")
+		n := g.Add(helper, Generic, "", "h", nil)
+		defer func() {
+			if recover() == nil {
+				t.Error("gating a helper-lane node should panic")
+			}
+		}()
+		n.Gated(NewSlot())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{Generic, DataWait, Pack, Unpack, PostBcast, WaitBcast,
+		ComputeForward, ComputeBackward, Reduce, DrainSends, Update}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("kind %d has bad or duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("out-of-range kind should stringify as unknown")
+	}
+}

@@ -20,6 +20,9 @@ type Event struct {
 	Rank int
 	// Phase names the activity ("propagation", "forward", ...).
 	Phase string
+	// Label optionally names the scheduler node that produced the span
+	// ("fwd:conv1", "reduce:bucket2", ...); empty for phase-level spans.
+	Label string
 	// Start and End bound the span in virtual time.
 	Start, End sim.Time
 }
@@ -38,10 +41,16 @@ func New() *Recorder { return &Recorder{} }
 
 // Add records one span. Zero-length spans are dropped.
 func (t *Recorder) Add(rank int, phase string, start, end sim.Time) {
+	t.AddNode(rank, phase, "", start, end)
+}
+
+// AddNode records one span carrying a scheduler-node label in addition
+// to its phase. Zero-length spans are dropped.
+func (t *Recorder) AddNode(rank int, phase, label string, start, end sim.Time) {
 	if t == nil || end <= start {
 		return
 	}
-	t.events = append(t.events, Event{Rank: rank, Phase: phase, Start: start, End: end})
+	t.events = append(t.events, Event{Rank: rank, Phase: phase, Label: label, Start: start, End: end})
 }
 
 // Events returns the recorded spans in insertion order.
@@ -98,6 +107,7 @@ var phaseGlyphs = map[string]byte{
 	"backward":    'B',
 	"aggregation": 'A',
 	"update":      'U',
+	"bcast-wire":  'w',
 }
 
 // Gantt renders an ASCII timeline, one row per rank, `width` columns
@@ -154,6 +164,132 @@ func (t *Recorder) Gantt(width int) string {
 		fmt.Fprintf(&b, "rank%-3d |%s|\n", rank, row)
 	}
 	return b.String()
+}
+
+// SummaryRow aggregates one rank's timeline: total time per phase plus
+// how much of the rank's communication was hidden under compute — the
+// quantitative counterpart of the paper's Figures 4–6 overlap diagrams.
+type SummaryRow struct {
+	// Rank is the MPI rank the row describes.
+	Rank int
+	// Phases maps phase name to total recorded time.
+	Phases map[string]sim.Duration
+	// Compute is the union length of forward/backward/update spans.
+	Compute sim.Duration
+	// Comm is the union length of propagation/aggregation spans plus
+	// any wire-level spans (phase suffix "-wire").
+	Comm sim.Duration
+	// Overlap is the portion of Comm that coincides with Compute.
+	Overlap sim.Duration
+	// OverlapPct is Overlap/Comm as a percentage (0 when Comm is 0).
+	OverlapPct float64
+}
+
+// computePhase reports whether a phase counts as GPU compute.
+func computePhase(phase string) bool {
+	return phase == "forward" || phase == "backward" || phase == "update"
+}
+
+// commPhase reports whether a phase counts as communication. Wire
+// spans ("bcast-wire", ...) are the offloaded transfer itself; the
+// plain phases are time the rank was blocked in MPI calls.
+func commPhase(phase string) bool {
+	return phase == "propagation" || phase == "aggregation" || strings.HasSuffix(phase, "-wire")
+}
+
+type span struct{ lo, hi sim.Time }
+
+// mergeSpans sorts and unions overlapping intervals.
+func mergeSpans(in []span) []span {
+	if len(in) == 0 {
+		return nil
+	}
+	sort.Slice(in, func(i, j int) bool { return in[i].lo < in[j].lo })
+	out := in[:1]
+	for _, s := range in[1:] {
+		last := &out[len(out)-1]
+		if s.lo <= last.hi {
+			if s.hi > last.hi {
+				last.hi = s.hi
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// spanLen sums the lengths of (disjoint) spans.
+func spanLen(spans []span) sim.Duration {
+	var d sim.Duration
+	for _, s := range spans {
+		d += s.hi - s.lo
+	}
+	return d
+}
+
+// intersectLen measures the overlap of two merged span sets.
+func intersectLen(a, b []span) sim.Duration {
+	var d sim.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo, hi := a[i].lo, a[i].hi
+		if b[j].lo > lo {
+			lo = b[j].lo
+		}
+		if b[j].hi < hi {
+			hi = b[j].hi
+		}
+		if hi > lo {
+			d += hi - lo
+		}
+		if a[i].hi < b[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return d
+}
+
+// Summary computes per-rank phase totals and the fraction of
+// communication hidden under compute. Rows are ordered by rank; ranks
+// with no events are omitted.
+func (t *Recorder) Summary() []SummaryRow {
+	if t.Len() == 0 {
+		return nil
+	}
+	byRank := make(map[int]*SummaryRow)
+	compute := make(map[int][]span)
+	comm := make(map[int][]span)
+	for _, e := range t.Events() {
+		row := byRank[e.Rank]
+		if row == nil {
+			row = &SummaryRow{Rank: e.Rank, Phases: make(map[string]sim.Duration)}
+			byRank[e.Rank] = row
+		}
+		row.Phases[e.Phase] += e.Duration()
+		if computePhase(e.Phase) {
+			compute[e.Rank] = append(compute[e.Rank], span{e.Start, e.End})
+		}
+		if commPhase(e.Phase) {
+			comm[e.Rank] = append(comm[e.Rank], span{e.Start, e.End})
+		}
+	}
+	rows := make([]SummaryRow, 0, len(byRank))
+	for rank, row := range byRank {
+		cp := mergeSpans(compute[rank])
+		cm := mergeSpans(comm[rank])
+		row.Compute = spanLen(cp)
+		row.Comm = spanLen(cm)
+		row.Overlap = intersectLen(cp, cm)
+		if row.Comm > 0 {
+			row.OverlapPct = 100 * float64(row.Overlap) / float64(row.Comm)
+		}
+		rows = append(rows, *row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Rank < rows[j].Rank })
+	return rows
 }
 
 // PhaseTotals sums the recorded time per phase per rank.

@@ -64,6 +64,9 @@ const (
 	SCOB = core.SCOB
 	// SCOBR adds helper-thread overlapped gradient aggregation (4.3).
 	SCOBR = core.SCOBR
+	// SCOBRF is SC-OBR with FireCaffe-style bucketed aggregation
+	// (Config.BucketBytes, default 4 MiB).
+	SCOBRF = core.SCOBRF
 	// Caffe is the single-node multi-threaded baseline.
 	Caffe = core.CaffeMT
 	// CNTK is the host-staged MPI allreduce baseline.

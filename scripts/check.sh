@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the repository's pre-merge gate: formatting, vet, build,
+# and the full test suite under the race detector. Run from anywhere;
+# it always operates on the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+# Race instrumentation slows the simulator ~10x; the core package needs
+# more than the default 10-minute per-package budget.
+go test -race -timeout 45m ./...
+
+echo "== OK =="
