@@ -17,8 +17,11 @@ test:
 race:
 	$(GO) test -race -timeout 45m ./...
 
+# `make bench` runs every benchmark once with -benchmem and writes a
+# BENCH_<date>.json summary; see scripts/bench.sh for the BENCH_*
+# environment overrides (filter, benchtime, packages, output file).
 bench:
-	$(GO) test -run XXX -bench . -benchtime 1x ./...
+	sh scripts/bench.sh
 
 fmt:
 	gofmt -w .

@@ -35,6 +35,8 @@ func main() {
 		BaseLR:      0.05,
 		Momentum:    0.9,
 		Seed:        7,
+
+		CaptureFinalParams: true,
 	}
 
 	// Single solver...

@@ -185,6 +185,12 @@ type Config struct {
 	// timeline export (see internal/trace).
 	Trace *trace.Recorder
 
+	// CaptureFinalParams copies the root solver's packed parameter
+	// vector into Result.FinalParams after the last update (real mode
+	// only). Opt-in because the copy is a full model's worth of floats
+	// — ~240 MB for AlexNet — that pure throughput runs never read.
+	CaptureFinalParams bool
+
 	// Seed makes parameter init and data order deterministic.
 	Seed int64
 	// QueueDepth is the per-reader prefetch depth (default 2).
@@ -354,7 +360,7 @@ type Result struct {
 	// SnapshotFiles lists snapshots written during the run.
 	SnapshotFiles []string
 	// FinalParams is the root solver's packed parameter vector after
-	// the last update (real mode only).
+	// the last update (real mode with Config.CaptureFinalParams only).
 	FinalParams []float32
 
 	// HCAUtilization is the mean busy fraction of the InfiniBand

@@ -29,6 +29,8 @@ func tinyRealConfig(gpus, batch, iters int) Config {
 		Seed:        7,
 		BaseLR:      0.05,
 		Momentum:    0.9,
+
+		CaptureFinalParams: true,
 	}
 }
 

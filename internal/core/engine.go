@@ -166,7 +166,7 @@ func run(cfg Config) (*Result, *runState, error) {
 		res.SamplesPerSec = samples / total.Seconds()
 		res.HCAUtilization, res.PCIeUtilization = linkUtilization(cluster, cfg.GPUs, total)
 	}
-	if cfg.RealNet != nil {
+	if cfg.RealNet != nil && cfg.CaptureFinalParams {
 		root := st.wl[st.rootRank()]
 		root.packParams()
 		res.FinalParams = append([]float32(nil), root.paramData...)

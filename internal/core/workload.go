@@ -32,7 +32,8 @@ type workload struct {
 	// fused reduction units (Config.BucketBytes).
 	buckets []gradBucket
 
-	// Real-mode activation threading.
+	// Real-mode activation threading. input and labels are persistent
+	// batch buffers refilled in place each iteration.
 	act    *tensor.Tensor
 	grad   *tensor.Tensor
 	input  *tensor.Tensor
@@ -153,11 +154,13 @@ func (w *workload) loadBatch(ds data.Dataset, iter, globalBatch, rankOffset int)
 	if !w.real() {
 		return
 	}
+	if w.input == nil {
+		sh := ds.Shape()
+		w.input = tensor.New(w.localBatch, sh.C, sh.H, sh.W)
+		w.labels = make([]int, w.localBatch)
+	}
 	start := iter*globalBatch + rankOffset
-	img, labels := data.BatchTensor(ds, start, w.localBatch)
-	sh := ds.Shape()
-	w.input = tensor.FromSlice(img, w.localBatch, sh.C, sh.H, sh.W)
-	w.labels = labels
+	data.BatchTensorInto(ds, start, w.localBatch, w.input.Data, w.labels)
 	w.net.ZeroGrads()
 }
 

@@ -9,6 +9,7 @@ package data
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"scaffe/internal/layers"
 )
@@ -33,6 +34,17 @@ type Dataset interface {
 	Classes() int
 }
 
+// Filler is an optional Dataset extension for allocation-free batch
+// assembly: a dataset that can write a sample's image directly into a
+// caller-owned buffer. BatchTensorInto uses it when available, which
+// keeps the training hot path free of per-iteration allocations.
+type Filler interface {
+	// ReadInto writes sample i's image into img (which must hold at
+	// least Shape().Elems() values) and returns the label. It is safe
+	// for concurrent use.
+	ReadInto(i int, img []float32) int
+}
+
 // Synthetic is a deterministic, learnable dataset: each class has a
 // fixed random template and samples are template + noise. Linear and
 // small convolutional models can fit it, which lets the real-compute
@@ -45,6 +57,13 @@ type Synthetic struct {
 	seed      int64
 	templates [][]float32
 	noise     float32
+
+	// mu guards rng, a cached generator re-seeded per sample so reads
+	// don't allocate a fresh rand.Rand each call. Re-seeding resets the
+	// source to the exact state a fresh generator would have, so the
+	// sample stream is identical to the per-call construction.
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // NewSynthetic builds a synthetic dataset of n samples.
@@ -76,17 +95,29 @@ func (d *Synthetic) Classes() int { return d.classes }
 // At implements Dataset. Sample i is derived from (seed, i) only, so
 // every rank sees the same dataset.
 func (d *Synthetic) At(i int) Sample {
+	img := make([]float32, d.shape.Elems())
+	label := d.ReadInto(i, img)
+	return Sample{Image: img, Label: label}
+}
+
+// ReadInto implements Filler.
+func (d *Synthetic) ReadInto(i int, img []float32) int {
 	if i < 0 || i >= d.n {
 		panic(fmt.Sprintf("data: sample %d out of range [0,%d)", i, d.n))
 	}
-	rng := rand.New(rand.NewSource(d.seed*1_000_003 + int64(i)))
-	label := int(rng.Int31n(int32(d.classes)))
-	img := make([]float32, d.shape.Elems())
+	img = img[:d.shape.Elems()]
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(0))
+	}
+	d.rng.Seed(d.seed*1_000_003 + int64(i))
+	label := int(d.rng.Int31n(int32(d.classes)))
 	tpl := d.templates[label]
 	for j := range img {
-		img[j] = tpl[j] + (rng.Float32()*2-1)*d.noise
+		img[j] = tpl[j] + (d.rng.Float32()*2-1)*d.noise
 	}
-	return Sample{Image: img, Label: label}
+	return label
 }
 
 // SyntheticMNIST returns a 1×28×28, 10-class dataset.
@@ -108,13 +139,27 @@ func SyntheticImageNet(n int, seed int64) *Synthetic {
 // BatchTensor assembles samples [start, start+batch) of ds (wrapping
 // modulo length) into a flat NCHW tensor and label slice.
 func BatchTensor(ds Dataset, start, batch int) ([]float32, []int) {
-	elems := ds.Shape().Elems()
-	img := make([]float32, batch*elems)
+	img := make([]float32, batch*ds.Shape().Elems())
 	labels := make([]int, batch)
+	BatchTensorInto(ds, start, batch, img, labels)
+	return img, labels
+}
+
+// BatchTensorInto assembles samples [start, start+batch) of ds
+// (wrapping modulo length) into caller-owned buffers: img must hold
+// batch*Shape().Elems() values and labels batch entries. Datasets
+// implementing Filler are read without any allocation.
+func BatchTensorInto(ds Dataset, start, batch int, img []float32, labels []int) {
+	elems := ds.Shape().Elems()
+	if f, ok := ds.(Filler); ok {
+		for b := 0; b < batch; b++ {
+			labels[b] = f.ReadInto((start+b)%ds.Len(), img[b*elems:(b+1)*elems])
+		}
+		return
+	}
 	for b := 0; b < batch; b++ {
 		s := ds.At((start + b) % ds.Len())
 		copy(img[b*elems:(b+1)*elems], s.Image)
 		labels[b] = s.Label
 	}
-	return img, labels
 }

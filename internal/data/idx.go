@@ -132,3 +132,10 @@ func (d *IDXDataset) Classes() int { return d.classes }
 func (d *IDXDataset) At(i int) Sample {
 	return Sample{Image: d.images[i], Label: d.labels[i]}
 }
+
+// ReadInto implements Filler (the images are already resident, so this
+// is a straight copy).
+func (d *IDXDataset) ReadInto(i int, img []float32) int {
+	copy(img, d.images[i])
+	return d.labels[i]
+}

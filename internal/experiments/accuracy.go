@@ -39,6 +39,8 @@ func Accuracy(o Options) (*Table, error) {
 			Momentum:     0.9,
 			TestInterval: iters / 2,
 			TestBatches:  2,
+
+			CaptureFinalParams: true,
 		}
 	}
 	single, err := core.Run(mk(1))

@@ -26,7 +26,11 @@ type Conv struct {
 	wGrad   *tensor.Tensor
 	bGrad   *tensor.Tensor
 	col     []float32 // im2col scratch for one sample, one group
+	colGrad []float32 // column-space gradient scratch, same shape as col
 	lastIn  *tensor.Tensor
+
+	params []*tensor.Tensor // cached Params/Grads results so the
+	grads  []*tensor.Tensor // per-iteration accessors don't allocate
 }
 
 // NewConv creates a square-kernel convolution.
@@ -99,6 +103,10 @@ func (c *Conv) Setup(in Shape, batch int, rng *rand.Rand) {
 	c.wGrad = tensor.New(c.OutC, k)
 	c.bGrad = tensor.New(c.OutC)
 	c.col = make([]float32, k*c.geom.OutH()*c.geom.OutW())
+	c.colGrad = make([]float32, k*c.geom.OutH()*c.geom.OutW())
+	c.allocBlobs(c.OutShape(in))
+	c.params = []*tensor.Tensor{c.weights, c.bias}
+	c.grads = []*tensor.Tensor{c.wGrad, c.bGrad}
 }
 
 // Forward implements Layer.
@@ -110,7 +118,7 @@ func (c *Conv) Forward(in *tensor.Tensor) *tensor.Tensor {
 	k := (c.in.C / c.Groups) * c.KernelH * c.KernelW
 	outCg := c.OutC / c.Groups
 	inCg := c.in.C / c.Groups
-	res := tensor.New(c.batch, out.C, out.H, out.W)
+	res := c.out
 	inSz := c.in.Elems()
 	outSz := out.Elems()
 	for b := 0; b < c.batch; b++ {
@@ -140,10 +148,11 @@ func (c *Conv) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	k := (c.in.C / c.Groups) * c.KernelH * c.KernelW
 	outCg := c.OutC / c.Groups
 	inCg := c.in.C / c.Groups
-	gradIn := tensor.New(c.batch, c.in.C, c.in.H, c.in.W)
+	gradIn := c.gradIn
+	gradIn.Zero() // Col2im accumulates into its target
 	inSz := c.in.Elems()
 	outSz := out.Elems()
-	colGrad := make([]float32, k*spatial)
+	colGrad := c.colGrad[:k*spatial]
 	for b := 0; b < c.batch; b++ {
 		gAll := gradOut.Data[b*outSz : (b+1)*outSz]
 		// Bias gradient: sum over spatial positions.
@@ -174,7 +183,7 @@ func (c *Conv) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 }
 
 // Params implements Layer.
-func (c *Conv) Params() []*tensor.Tensor { return []*tensor.Tensor{c.weights, c.bias} }
+func (c *Conv) Params() []*tensor.Tensor { return c.params }
 
 // Grads implements Layer.
-func (c *Conv) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.wGrad, c.bGrad} }
+func (c *Conv) Grads() []*tensor.Tensor { return c.grads }

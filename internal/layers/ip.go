@@ -16,6 +16,9 @@ type InnerProduct struct {
 	wGrad   *tensor.Tensor
 	bGrad   *tensor.Tensor
 	lastIn  *tensor.Tensor
+
+	params []*tensor.Tensor // cached Params/Grads results so the
+	grads  []*tensor.Tensor // per-iteration accessors don't allocate
 }
 
 // NewInnerProduct creates a fully-connected layer with outN outputs.
@@ -47,6 +50,9 @@ func (l *InnerProduct) Setup(in Shape, batch int, rng *rand.Rand) {
 	l.bias = tensor.New(l.OutN)
 	l.wGrad = tensor.New(l.OutN, k)
 	l.bGrad = tensor.New(l.OutN)
+	l.allocBlobs(l.OutShape(in))
+	l.params = []*tensor.Tensor{l.weights, l.bias}
+	l.grads = []*tensor.Tensor{l.wGrad, l.bGrad}
 }
 
 // Forward implements Layer.
@@ -54,7 +60,7 @@ func (l *InnerProduct) Forward(in *tensor.Tensor) *tensor.Tensor {
 	l.checkIn(in)
 	l.lastIn = in
 	k := l.in.Elems()
-	out := tensor.New(l.batch, l.OutN, 1, 1)
+	out := l.out
 	// out (batch×OutN) = in (batch×k) · W^T (k×OutN)
 	tensor.Gemm(false, true, l.batch, l.OutN, k, 1, in.Data, l.weights.Data, 0, out.Data)
 	for b := 0; b < l.batch; b++ {
@@ -79,13 +85,13 @@ func (l *InnerProduct) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dIn (batch×k) = g (batch×OutN) · W (OutN×k)
-	gradIn := tensor.New(l.batch, l.in.C, l.in.H, l.in.W)
+	gradIn := l.gradIn
 	tensor.Gemm(false, false, l.batch, k, l.OutN, 1, gradOut.Data, l.weights.Data, 0, gradIn.Data)
 	return gradIn
 }
 
 // Params implements Layer.
-func (l *InnerProduct) Params() []*tensor.Tensor { return []*tensor.Tensor{l.weights, l.bias} }
+func (l *InnerProduct) Params() []*tensor.Tensor { return l.params }
 
 // Grads implements Layer.
-func (l *InnerProduct) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.wGrad, l.bGrad} }
+func (l *InnerProduct) Grads() []*tensor.Tensor { return l.grads }

@@ -44,13 +44,19 @@ type Layer interface {
 	BwdFLOPs(in Shape) float64
 
 	// Setup binds the layer to an input shape and batch size,
-	// allocating parameters (initialized from rng) and buffers.
+	// allocating parameters (initialized from rng) and buffers —
+	// including the output and grad-input blobs that Forward/Backward
+	// reuse, so steady-state iterations allocate nothing.
 	Setup(in Shape, batch int, rng *rand.Rand)
 	// Forward computes the layer output for a batch input of shape
-	// (batch, in.C, in.H, in.W).
+	// (batch, in.C, in.H, in.W). The returned tensor is the layer's
+	// preallocated output blob: it is overwritten by the next Forward
+	// call, so callers must not retain it across iterations.
 	Forward(in *tensor.Tensor) *tensor.Tensor
 	// Backward consumes dLoss/dOut and returns dLoss/dIn, accumulating
-	// parameter gradients. It must be called after Forward.
+	// parameter gradients. It must be called after Forward. Like
+	// Forward, the result is a reused blob overwritten by the next
+	// Backward call.
 	Backward(gradOut *tensor.Tensor) *tensor.Tensor
 	// Params returns the learnable tensors (possibly empty).
 	Params() []*tensor.Tensor
@@ -58,11 +64,17 @@ type Layer interface {
 	Grads() []*tensor.Tensor
 }
 
-// base carries the bookkeeping every layer shares.
+// base carries the bookkeeping every layer shares, including the
+// preallocated blobs Forward/Backward hand out. Caffe sizes every blob
+// once at net-setup time and reuses it for the life of the net; doing
+// the same keeps the training hot path allocation-free.
 type base struct {
 	name  string
 	in    Shape
 	batch int
+
+	out    *tensor.Tensor // reused Forward result
+	gradIn *tensor.Tensor // reused Backward result
 }
 
 func (b *base) Name() string { return b.name }
@@ -70,6 +82,13 @@ func (b *base) Name() string { return b.name }
 func (b *base) setup(in Shape, batch int) {
 	b.in = in
 	b.batch = batch
+}
+
+// allocBlobs sizes the reusable output and grad-input blobs; layers
+// call it from Setup once the output shape is known.
+func (b *base) allocBlobs(out Shape) {
+	b.out = tensor.New(b.batch, out.C, out.H, out.W)
+	b.gradIn = tensor.New(b.batch, b.in.C, b.in.H, b.in.W)
 }
 
 func (b *base) checkIn(t *tensor.Tensor) {

@@ -43,6 +43,7 @@ func (l *LRN) BwdFLOPs(in Shape) float64 { return float64(in.Elems() * (l.Size +
 func (l *LRN) Setup(in Shape, batch int, _ *rand.Rand) {
 	l.setup(in, batch)
 	l.scale = make([]float32, batch*in.Elems())
+	l.allocBlobs(in)
 }
 
 func (l *LRN) window(c int) (lo, hi int) {
@@ -62,7 +63,7 @@ func (l *LRN) window(c int) (lo, hi int) {
 func (l *LRN) Forward(in *tensor.Tensor) *tensor.Tensor {
 	l.checkIn(in)
 	l.lastIn = in
-	out := tensor.New(in.Dims...)
+	out := l.out
 	hw := l.in.H * l.in.W
 	an := float32(l.Alpha / float64(l.Size))
 	for b := 0; b < l.batch; b++ {
@@ -88,7 +89,8 @@ func (l *LRN) Forward(in *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *LRN) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(gradOut.Dims...)
+	gradIn := l.gradIn
+	gradIn.Zero() // direct and cross terms accumulate below
 	hw := l.in.H * l.in.W
 	an := float32(l.Alpha / float64(l.Size))
 	beta := float32(l.Beta)

@@ -76,6 +76,7 @@ func (p *Pool) Setup(in Shape, batch int, _ *rand.Rand) {
 	p.setup(in, batch)
 	out := p.OutShape(in)
 	p.argmax = make([]int32, batch*out.Elems())
+	p.allocBlobs(out)
 }
 
 // Forward implements Layer.
@@ -83,7 +84,7 @@ func (p *Pool) Forward(in *tensor.Tensor) *tensor.Tensor {
 	p.checkIn(in)
 	p.lastIn = in
 	out := p.OutShape(p.in)
-	res := tensor.New(p.batch, out.C, out.H, out.W)
+	res := p.out
 	inSz := p.in.Elems()
 	outSz := out.Elems()
 	for b := 0; b < p.batch; b++ {
@@ -135,6 +136,8 @@ func (p *Pool) Forward(in *tensor.Tensor) *tensor.Tensor {
 						}
 						if n > 0 {
 							dst[o] = sum / float32(n)
+						} else {
+							dst[o] = 0 // blob is reused: clear empty windows
 						}
 						am[o] = int32(n)
 					}
@@ -149,7 +152,8 @@ func (p *Pool) Forward(in *tensor.Tensor) *tensor.Tensor {
 // Backward implements Layer.
 func (p *Pool) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	out := p.OutShape(p.in)
-	gradIn := tensor.New(p.batch, p.in.C, p.in.H, p.in.W)
+	gradIn := p.gradIn
+	gradIn.Zero() // windows overlap, gradients accumulate
 	inSz := p.in.Elems()
 	outSz := out.Elems()
 	for b := 0; b < p.batch; b++ {

@@ -31,22 +31,23 @@ func (l *ReLU) FwdFLOPs(in Shape) float64 { return float64(in.Elems()) }
 func (l *ReLU) BwdFLOPs(in Shape) float64 { return float64(in.Elems()) }
 
 // Setup implements Layer.
-func (l *ReLU) Setup(in Shape, batch int, _ *rand.Rand) { l.setup(in, batch) }
+func (l *ReLU) Setup(in Shape, batch int, _ *rand.Rand) {
+	l.setup(in, batch)
+	l.allocBlobs(in)
+}
 
 // Forward implements Layer.
 func (l *ReLU) Forward(in *tensor.Tensor) *tensor.Tensor {
 	l.checkIn(in)
 	l.lastIn = in
-	out := tensor.New(in.Dims...)
-	tensor.ReLUForward(in.Data, out.Data)
-	return out
+	tensor.ReLUForward(in.Data, l.out.Data)
+	return l.out
 }
 
 // Backward implements Layer.
 func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(gradOut.Dims...)
-	tensor.ReLUBackward(l.lastIn.Data, gradOut.Data, gradIn.Data)
-	return gradIn
+	tensor.ReLUBackward(l.lastIn.Data, gradOut.Data, l.gradIn.Data)
+	return l.gradIn
 }
 
 // Dropout zeroes a random fraction of activations during training and
@@ -83,12 +84,13 @@ func (l *Dropout) Setup(in Shape, batch int, rng *rand.Rand) {
 	l.setup(in, batch)
 	l.rng = rng
 	l.mask = make([]bool, batch*in.Elems())
+	l.allocBlobs(in)
 }
 
 // Forward implements Layer.
 func (l *Dropout) Forward(in *tensor.Tensor) *tensor.Tensor {
 	l.checkIn(in)
-	out := tensor.New(in.Dims...)
+	out := l.out
 	scale := float32(1 / (1 - l.Ratio))
 	for i, v := range in.Data {
 		if l.rng.Float64() < l.Ratio {
@@ -104,10 +106,12 @@ func (l *Dropout) Forward(in *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (l *Dropout) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	gradIn := tensor.New(gradOut.Dims...)
+	gradIn := l.gradIn
 	scale := float32(1 / (1 - l.Ratio))
 	for i, v := range gradOut.Data {
-		if !l.mask[i] {
+		if l.mask[i] {
+			gradIn.Data[i] = 0 // blob is reused: clear dropped lanes explicitly
+		} else {
 			gradIn.Data[i] = v * scale
 		}
 	}

@@ -36,7 +36,12 @@ func (l *SoftmaxLoss) FwdFLOPs(in Shape) float64 { return 5 * float64(in.Elems()
 func (l *SoftmaxLoss) BwdFLOPs(in Shape) float64 { return float64(in.Elems()) }
 
 // Setup implements Layer.
-func (l *SoftmaxLoss) Setup(in Shape, batch int, _ *rand.Rand) { l.setup(in, batch) }
+func (l *SoftmaxLoss) Setup(in Shape, batch int, _ *rand.Rand) {
+	l.setup(in, batch)
+	l.allocBlobs(in)
+	l.probs = l.out // softmax probabilities live in the output blob
+	l.grad = tensor.New(batch, in.Elems())
+}
 
 // SetLabels provides the ground-truth labels for the next Forward.
 func (l *SoftmaxLoss) SetLabels(labels []int) { l.labels = labels }
@@ -54,10 +59,8 @@ func (l *SoftmaxLoss) Forward(in *tensor.Tensor) *tensor.Tensor {
 	if len(l.labels) != l.batch {
 		panic("layers: SoftmaxLoss needs SetLabels before Forward")
 	}
-	l.probs = in.Clone()
-	grad := make([]float32, l.batch*classes)
-	l.loss = tensor.SoftmaxCrossEntropy(l.probs.Data, l.batch, classes, l.labels, grad)
-	l.grad = tensor.FromSlice(grad, l.batch, classes)
+	copy(l.probs.Data, in.Data)
+	l.loss = tensor.SoftmaxCrossEntropy(l.probs.Data, l.batch, classes, l.labels, l.grad.Data)
 	return l.probs
 }
 
@@ -65,7 +68,7 @@ func (l *SoftmaxLoss) Forward(in *tensor.Tensor) *tensor.Tensor {
 // gradient of the mean cross-entropy loss. The incoming gradient is
 // ignored (this is the terminal layer).
 func (l *SoftmaxLoss) Backward(_ *tensor.Tensor) *tensor.Tensor {
-	out := tensor.New(l.batch, l.in.C, l.in.H, l.in.W)
+	out := l.gradIn
 	inv := 1 / float32(l.batch)
 	for i, v := range l.grad.Data {
 		out.Data[i] = v * inv

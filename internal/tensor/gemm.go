@@ -7,114 +7,442 @@ import (
 
 // gemmParallelThreshold is the output size (M*N) above which GEMM
 // fans out across CPU cores; small multiplies stay single-threaded to
-// avoid goroutine overhead.
+// avoid dispatch overhead.
 const gemmParallelThreshold = 64 * 64
+
+const (
+	// gemmMR is the micro-kernel row tile: the blocked kernels compute
+	// gemmMR rows of C per pass over B, quartering B traffic.
+	gemmMR = 4
+	// gemmNB is the packed-panel width: B columns are processed in
+	// blocks of gemmNB so one packed panel (k×gemmNB floats) stays
+	// cache-resident across every row tile that consumes it.
+	gemmNB = 512
+	// gemmPackMin is the minimum k*width of a column block worth
+	// packing; smaller panels are streamed directly.
+	gemmPackMin = 32 * 1024
+)
 
 // Gemm computes C = alpha*op(A)*op(B) + beta*C for row-major matrices,
 // where op transposes when the corresponding flag is set. A is M×K
-// (K×M if transA), B is K×N (N×K if transB), C is M×N. The row range
-// of C is partitioned statically across workers, so results are
-// bit-identical regardless of parallelism.
+// (K×M if transA), B is K×N (N×K if transB), C is M×N.
+//
+// Determinism contract: every element of C is accumulated by exactly
+// one worker, in ascending-p order, regardless of how the output is
+// partitioned — so results are bit-identical run-to-run and across any
+// GOMAXPROCS setting. Parallel dispatch goes through a persistent
+// worker pool and a pooled call descriptor, so steady-state calls do
+// not allocate.
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
 	if len(c) < m*n {
 		panic("tensor: gemm C too small")
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if m*n < gemmParallelThreshold || workers < 2 {
-		gemmRows(transA, transB, m, n, k, alpha, a, b, beta, c, 0, m)
+		scaleCSpan(n, beta, c, 0, m, 0, n)
+		gemmKernel(transA, transB, m, n, k, alpha, a, b, c, 0, m, 0, n)
 		return
 	}
-	if workers > m {
-		workers = m
+	gemmOnce.Do(startGemmWorkers)
+
+	// Partition whichever output dimension offers enough granularity:
+	// rows when there are at least gemmMR rows per worker (keeps the
+	// micro-kernel's row tiles intact), columns otherwise (e.g. a
+	// batch-32 fully-connected forward pass, where m is tiny but n is
+	// thousands wide).
+	byCols := m < workers*gemmMR && n >= workers
+	span := m
+	if byCols {
+		span = n
 	}
-	var wg sync.WaitGroup
-	per := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	if workers > span {
+		workers = span
+	}
+	per := (span + workers - 1) / workers
+	if !byCols {
+		per = (per + gemmMR - 1) / gemmMR * gemmMR // align chunks to row tiles
+	}
+	parts := (span + per - 1) / per
+
+	g := getGemmCall()
+	g.transA, g.transB = transA, transB
+	g.m, g.n, g.k = m, n, k
+	g.alpha, g.beta = alpha, beta
+	g.a, g.b, g.c = a, b, c
+	g.byCols = byCols
+	g.wg.Add(parts - 1)
+	for w := 1; w < parts; w++ {
 		lo := w * per
 		hi := lo + per
-		if hi > m {
-			hi = m
+		if hi > span {
+			hi = span
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmRows(transA, transB, m, n, k, alpha, a, b, beta, c, lo, hi)
-		}(lo, hi)
+		gemmTaskQ <- gemmTask{call: g, lo: lo, hi: hi}
 	}
-	wg.Wait()
+	hi0 := per
+	if hi0 > span {
+		hi0 = span
+	}
+	g.runSpan(0, hi0)
+	g.wg.Wait()
+	putGemmCall(g)
 }
 
-// gemmRows computes rows [lo,hi) of C.
-func gemmRows(transA, transB bool, m, n, k int, alpha float32, a, b []float32, beta float32, c []float32, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		ci := c[i*n : (i+1)*n]
+// Gemv computes y = alpha*op(A)*x + beta*y for a row-major M×K matrix.
+// Matrix-vector work is memory-bound and its output is only m (or k)
+// elements, so the GEMM path's m*n parallel threshold and per-row
+// partitioning are mis-sized for it; plain dot (no-trans) and axpy
+// (trans) loops beat goroutine fan-out for every shape the models use.
+func Gemv(transA bool, m, k int, alpha float32, a, x []float32, beta float32, y []float32) {
+	if transA {
+		// y (len k) = beta*y + alpha * A^T x, accumulated row by row.
+		if len(y) < k {
+			panic("tensor: gemv y too small")
+		}
+		yk := y[:k]
+		if beta == 0 {
+			for i := range yk {
+				yk[i] = 0
+			}
+		} else if beta != 1 {
+			for i := range yk {
+				yk[i] *= beta
+			}
+		}
+		for p := 0; p < m; p++ {
+			s := alpha * x[p]
+			if s == 0 {
+				continue
+			}
+			ap := a[p*k : p*k+k]
+			for i, av := range ap {
+				yk[i] += s * av
+			}
+		}
+		return
+	}
+	if len(y) < m {
+		panic("tensor: gemv y too small")
+	}
+	xk := x[:k]
+	for i := 0; i < m; i++ {
+		ai := a[i*k : i*k+k]
+		var acc float32
+		for p, av := range ai {
+			acc += av * xk[p]
+		}
+		if beta == 0 {
+			y[i] = alpha * acc
+		} else {
+			y[i] = beta*y[i] + alpha*acc
+		}
+	}
+}
+
+// --- persistent worker pool ----------------------------------------------
+
+// gemmTask is one partition of a parallel GEMM call.
+type gemmTask struct {
+	call   *gemmCall
+	lo, hi int
+}
+
+// gemmCall is a pooled parallel-call descriptor; pooling it (and the
+// WaitGroup inside) keeps the parallel dispatch path allocation-free.
+type gemmCall struct {
+	transA, transB bool
+	m, n, k        int
+	alpha, beta    float32
+	a, b, c        []float32
+	byCols         bool
+	wg             sync.WaitGroup
+}
+
+var (
+	gemmOnce  sync.Once
+	gemmTaskQ chan gemmTask
+
+	gemmCallMu   sync.Mutex
+	gemmCallFree []*gemmCall
+)
+
+// startGemmWorkers spins up the persistent compute workers. Workers
+// block on the task queue when idle; the pool is sized to the machine
+// since per-call parallelism is capped by GOMAXPROCS anyway.
+func startGemmWorkers() {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	gemmTaskQ = make(chan gemmTask, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range gemmTaskQ {
+				t.call.runSpan(t.lo, t.hi)
+				t.call.wg.Done()
+			}
+		}()
+	}
+}
+
+func getGemmCall() *gemmCall {
+	gemmCallMu.Lock()
+	var g *gemmCall
+	if n := len(gemmCallFree); n > 0 {
+		g = gemmCallFree[n-1]
+		gemmCallFree = gemmCallFree[:n-1]
+	}
+	gemmCallMu.Unlock()
+	if g == nil {
+		g = new(gemmCall)
+	}
+	return g
+}
+
+func putGemmCall(g *gemmCall) {
+	g.a, g.b, g.c = nil, nil, nil
+	gemmCallMu.Lock()
+	gemmCallFree = append(gemmCallFree, g)
+	gemmCallMu.Unlock()
+}
+
+// runSpan executes one partition: [lo,hi) rows of C, or [lo,hi)
+// columns when the call is column-partitioned.
+func (g *gemmCall) runSpan(lo, hi int) {
+	ilo, ihi, jlo, jhi := 0, g.m, 0, g.n
+	if g.byCols {
+		jlo, jhi = lo, hi
+	} else {
+		ilo, ihi = lo, hi
+	}
+	scaleCSpan(g.n, g.beta, g.c, ilo, ihi, jlo, jhi)
+	gemmKernel(g.transA, g.transB, g.m, g.n, g.k, g.alpha, g.a, g.b, g.c, ilo, ihi, jlo, jhi)
+}
+
+// --- kernels --------------------------------------------------------------
+
+// scaleCSpan applies the beta prologue to C[ilo:ihi, jlo:jhi]; the
+// kernels below are pure accumulators.
+func scaleCSpan(n int, beta float32, c []float32, ilo, ihi, jlo, jhi int) {
+	if beta == 1 {
+		return
+	}
+	for i := ilo; i < ihi; i++ {
+		ci := c[i*n+jlo : i*n+jhi]
 		if beta == 0 {
 			for j := range ci {
 				ci[j] = 0
 			}
-		} else if beta != 1 {
+		} else {
 			for j := range ci {
 				ci[j] *= beta
 			}
 		}
-		switch {
-		case !transA && !transB:
-			// C[i,:] += alpha * sum_p A[i,p] * B[p,:]  (streams B rows)
-			ai := a[i*k : (i+1)*k]
+	}
+}
+
+// gemmKernel accumulates alpha*op(A)*op(B) into C[ilo:ihi, jlo:jhi].
+func gemmKernel(transA, transB bool, m, n, k int, alpha float32, a, b, c []float32, ilo, ihi, jlo, jhi int) {
+	switch {
+	case !transA && !transB:
+		gemmNN(n, k, alpha, a, b, c, ilo, ihi, jlo, jhi)
+	case !transA && transB:
+		gemmNT(n, k, alpha, a, b, c, ilo, ihi, jlo, jhi)
+	case transA && !transB:
+		gemmTN(m, n, k, alpha, a, b, c, ilo, ihi, jlo, jhi)
+	default:
+		gemmTT(m, n, k, alpha, a, b, c, ilo, ihi, jlo, jhi)
+	}
+}
+
+// gemmNN handles C += alpha*A*B. B columns are processed in gemmNB-wide
+// blocks; blocks large enough to pay for it are packed into a
+// contiguous panel from the workspace pool, so every row tile after the
+// first streams the panel out of cache instead of re-reading B from
+// memory. Per C element the accumulation runs in ascending-p order —
+// identical to the unblocked kernel.
+func gemmNN(n, k int, alpha float32, a, b, c []float32, ilo, ihi, jlo, jhi int) {
+	pack := ihi-ilo >= 2*gemmMR && k*min(gemmNB, jhi-jlo) >= gemmPackMin
+	var buf *[]float32
+	var panel []float32
+	if pack {
+		buf = GetScratch(k * min(gemmNB, jhi-jlo))
+		panel = *buf
+	}
+	for jb := jlo; jb < jhi; jb += gemmNB {
+		w := min(gemmNB, jhi-jb)
+		bp := b
+		boff, bstride := jb, n
+		if pack {
+			for p := 0; p < k; p++ {
+				copy(panel[p*w:(p+1)*w], b[p*n+jb:p*n+jb+w])
+			}
+			bp, boff, bstride = panel, 0, w
+		}
+		i := ilo
+		for ; i+gemmMR <= ihi; i += gemmMR {
+			c0 := c[i*n+jb : i*n+jb+w]
+			c1 := c[(i+1)*n+jb : (i+1)*n+jb+w]
+			c2 := c[(i+2)*n+jb : (i+2)*n+jb+w]
+			c3 := c[(i+3)*n+jb : (i+3)*n+jb+w]
+			a0 := a[i*k : i*k+k]
+			a1 := a[(i+1)*k : (i+1)*k+k]
+			a2 := a[(i+2)*k : (i+2)*k+k]
+			a3 := a[(i+3)*k : (i+3)*k+k]
+			for p := 0; p < k; p++ {
+				s0 := alpha * a0[p]
+				s1 := alpha * a1[p]
+				s2 := alpha * a2[p]
+				s3 := alpha * a3[p]
+				if s0 == 0 && s1 == 0 && s2 == 0 && s3 == 0 {
+					continue
+				}
+				row := bp[p*bstride+boff : p*bstride+boff+w]
+				for j, bv := range row {
+					c0[j] += s0 * bv
+					c1[j] += s1 * bv
+					c2[j] += s2 * bv
+					c3[j] += s3 * bv
+				}
+			}
+		}
+		for ; i < ihi; i++ {
+			ci := c[i*n+jb : i*n+jb+w]
+			ai := a[i*k : i*k+k]
 			for p, av := range ai {
 				if av == 0 {
 					continue
 				}
 				s := alpha * av
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
+				row := bp[p*bstride+boff : p*bstride+boff+w]
+				for j, bv := range row {
 					ci[j] += s * bv
 				}
 			}
-		case !transA && transB:
-			ai := a[i*k : (i+1)*k]
-			for j := 0; j < n; j++ {
-				bj := b[j*k : (j+1)*k]
-				var acc float32
-				for p := range ai {
-					acc += ai[p] * bj[p]
-				}
-				ci[j] += alpha * acc
+		}
+	}
+	if pack {
+		PutScratch(buf)
+	}
+}
+
+// gemmNT handles C += alpha*A*B^T: each C element is a dot product of
+// an A row and a B row. The row tile computes four dots per B-row pass,
+// each with its own sequential accumulator, so per-element rounding
+// matches the unblocked kernel exactly.
+func gemmNT(n, k int, alpha float32, a, b, c []float32, ilo, ihi, jlo, jhi int) {
+	i := ilo
+	for ; i+gemmMR <= ihi; i += gemmMR {
+		a0 := a[i*k : i*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		a2 := a[(i+2)*k : (i+2)*k+k]
+		a3 := a[(i+3)*k : (i+3)*k+k]
+		for j := jlo; j < jhi; j++ {
+			bj := b[j*k : j*k+k]
+			var acc0, acc1, acc2, acc3 float32
+			for p, bv := range bj {
+				acc0 += a0[p] * bv
+				acc1 += a1[p] * bv
+				acc2 += a2[p] * bv
+				acc3 += a3[p] * bv
 			}
-		case transA && !transB:
-			// A is K×M: A[p,i]
+			c[i*n+j] += alpha * acc0
+			c[(i+1)*n+j] += alpha * acc1
+			c[(i+2)*n+j] += alpha * acc2
+			c[(i+3)*n+j] += alpha * acc3
+		}
+	}
+	for ; i < ihi; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
+		for j := jlo; j < jhi; j++ {
+			bj := b[j*k : j*k+k]
+			var acc float32
+			for p := range ai {
+				acc += ai[p] * bj[p]
+			}
+			ci[j] += alpha * acc
+		}
+	}
+}
+
+// gemmTN handles C += alpha*A^T*B with A stored K×M: the row tile reads
+// four adjacent A columns per p (contiguous in memory) and shares each
+// B-row pass across them, with the same packed-panel blocking as
+// gemmNN.
+func gemmTN(m, n, k int, alpha float32, a, b, c []float32, ilo, ihi, jlo, jhi int) {
+	pack := ihi-ilo >= 2*gemmMR && k*min(gemmNB, jhi-jlo) >= gemmPackMin
+	var buf *[]float32
+	var panel []float32
+	if pack {
+		buf = GetScratch(k * min(gemmNB, jhi-jlo))
+		panel = *buf
+	}
+	for jb := jlo; jb < jhi; jb += gemmNB {
+		w := min(gemmNB, jhi-jb)
+		bp := b
+		boff, bstride := jb, n
+		if pack {
+			for p := 0; p < k; p++ {
+				copy(panel[p*w:(p+1)*w], b[p*n+jb:p*n+jb+w])
+			}
+			bp, boff, bstride = panel, 0, w
+		}
+		i := ilo
+		for ; i+gemmMR <= ihi; i += gemmMR {
+			c0 := c[i*n+jb : i*n+jb+w]
+			c1 := c[(i+1)*n+jb : (i+1)*n+jb+w]
+			c2 := c[(i+2)*n+jb : (i+2)*n+jb+w]
+			c3 := c[(i+3)*n+jb : (i+3)*n+jb+w]
+			for p := 0; p < k; p++ {
+				ap := a[p*m+i : p*m+i+gemmMR]
+				s0 := alpha * ap[0]
+				s1 := alpha * ap[1]
+				s2 := alpha * ap[2]
+				s3 := alpha * ap[3]
+				if s0 == 0 && s1 == 0 && s2 == 0 && s3 == 0 {
+					continue
+				}
+				row := bp[p*bstride+boff : p*bstride+boff+w]
+				for j, bv := range row {
+					c0[j] += s0 * bv
+					c1[j] += s1 * bv
+					c2[j] += s2 * bv
+					c3[j] += s3 * bv
+				}
+			}
+		}
+		for ; i < ihi; i++ {
+			ci := c[i*n+jb : i*n+jb+w]
 			for p := 0; p < k; p++ {
 				av := a[p*m+i]
 				if av == 0 {
 					continue
 				}
 				s := alpha * av
-				bp := b[p*n : (p+1)*n]
-				for j, bv := range bp {
+				row := bp[p*bstride+boff : p*bstride+boff+w]
+				for j, bv := range row {
 					ci[j] += s * bv
 				}
 			}
-		default: // transA && transB
-			for j := 0; j < n; j++ {
-				var acc float32
-				for p := 0; p < k; p++ {
-					acc += a[p*m+i] * b[j*k+p]
-				}
-				ci[j] += alpha * acc
-			}
 		}
+	}
+	if pack {
+		PutScratch(buf)
 	}
 }
 
-// Gemv computes y = alpha*op(A)*x + beta*y (specialized M×K by K
-// matrix-vector product).
-func Gemv(transA bool, m, k int, alpha float32, a, x []float32, beta float32, y []float32) {
-	if transA {
-		Gemm(true, false, k, 1, m, alpha, a, x, beta, y)
-		return
+// gemmTT handles the doubly-transposed case. No model layer lowers onto
+// it, so it stays a plain dot loop.
+func gemmTT(m, n, k int, alpha float32, a, b, c []float32, ilo, ihi, jlo, jhi int) {
+	for i := ilo; i < ihi; i++ {
+		ci := c[i*n : i*n+n]
+		for j := jlo; j < jhi; j++ {
+			var acc float32
+			for p := 0; p < k; p++ {
+				acc += a[p*m+i] * b[j*k+p]
+			}
+			ci[j] += alpha * acc
+		}
 	}
-	Gemm(false, false, m, 1, k, alpha, a, x, beta, y)
 }

@@ -101,6 +101,8 @@ func TestTrainRealMode(t *testing.T) {
 		Source:      InMemory,
 		Seed:        5,
 		BaseLR:      0.05,
+
+		CaptureFinalParams: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench.sh — run the repository benchmarks with -benchmem and write a
+# machine-readable BENCH_<date>.json summary (ns/op, B/op, allocs/op,
+# and any custom metrics such as virtual-ms/op and gflops), so future
+# changes have a perf trajectory to compare against.
+#
+# Environment overrides:
+#   BENCH_PKGS    packages to benchmark (default: ./...)
+#   BENCH_FILTER  -bench regexp           (default: .)
+#   BENCH_TIME    -benchtime value        (default: 1x)
+#   BENCH_OUT     output file             (default: BENCH_$(date +%F).json)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pkgs=${BENCH_PKGS:-./...}
+filter=${BENCH_FILTER:-.}
+benchtime=${BENCH_TIME:-1x}
+out=${BENCH_OUT:-BENCH_$(date +%F).json}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench $filter -benchtime $benchtime $pkgs =="
+go test -run '^$' -bench "$filter" -benchtime "$benchtime" -benchmem $pkgs | tee "$raw"
+
+awk -v date="$(date +%F)" \
+    -v gover="$(go version | awk '{print $3}')" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchmarks\": [", date, gover, commit
+    n = 0
+}
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    printf "%s\n    {\"name\": \"%s\", \"iterations\": %s", (n++ ? "," : ""), name, iters
+    # Fields come in "<value> <unit>" pairs after the iteration count.
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END {
+    printf "\n  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "== wrote $out =="
