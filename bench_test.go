@@ -56,6 +56,9 @@ func BenchmarkExtMPvsDP(b *testing.B)                 { runExperiment(b, "mpdp",
 func BenchmarkExtAccuracyEquivalence(b *testing.B) {
 	runExperiment(b, "accuracy", experiments.Options{Iterations: 10})
 }
+func BenchmarkExtFaultRecovery(b *testing.B) {
+	runExperiment(b, "faults", experiments.Options{Iterations: 24})
+}
 
 // BenchmarkReduce256MB160GPUs measures the headline reduction point
 // (256 MB over 160 GPUs) per algorithm, reporting the virtual latency.

@@ -8,9 +8,14 @@
 //	scaffe-train -model googlenet -gpus 160 -batch 1280 -design scobr -reduce hr -data imagedata
 //	scaffe-train -model alexnet -gpus 16 -nodes 20 -gpus-per-node 2 -design cntk
 //	scaffe-train -model cifar10-quick -gpus 4 -real -iters 50
+//	scaffe-train -model cifar10-quick -gpus 8 -design scob -faults configs/faults_demo.txt -summary
+//
+// Exit codes: 0 success, 1 runtime failure, 2 invalid configuration,
+// 3 unrecovered failure (every rank lost to injected faults).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +23,13 @@ import (
 
 	"scaffe"
 	"scaffe/internal/proto"
+)
+
+// Exit codes (documented in the package comment).
+const (
+	exitFailure     = 1
+	exitConfig      = 2
+	exitUnrecovered = 3
 )
 
 func main() {
@@ -39,20 +51,21 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace (chrome://tracing JSON) of the run to this file")
 	gantt := flag.Bool("gantt", false, "print an ASCII timeline of the run")
 	summary := flag.Bool("summary", false, "print the per-rank phase totals and compute/communication overlap table")
+	faultsFile := flag.String("faults", "", "inject faults from a schedule file (one event per line, e.g. `100ms crash rank=3`)")
 	flag.Parse()
 
 	var cfg scaffe.Config
 	if *solverFile != "" {
 		loaded, err := proto.LoadSolver(*solverFile)
 		if err != nil {
-			fatal(err)
+			fatalConfig(err)
 		}
 		cfg = loaded
 		cfg.Seed = *seed
 	} else {
 		spec, err := scaffe.Model(*model)
 		if err != nil {
-			fatal(err)
+			fatalConfig(err)
 		}
 		cfg = scaffe.Config{
 			Spec:        spec,
@@ -87,7 +100,7 @@ func main() {
 		case "mp":
 			cfg.Design = scaffe.MPICaffe
 		default:
-			fatal(fmt.Errorf("unknown design %q", *design))
+			fatalConfig(fmt.Errorf("unknown design %q", *design))
 		}
 		switch strings.ToLower(*reduce) {
 		case "binomial":
@@ -109,7 +122,7 @@ func main() {
 		case "openmpi":
 			cfg.Reduce = scaffe.ReduceOpenMPI
 		default:
-			fatal(fmt.Errorf("unknown reduce algorithm %q", *reduce))
+			fatalConfig(fmt.Errorf("unknown reduce algorithm %q", *reduce))
 		}
 		switch strings.ToLower(*source) {
 		case "memory":
@@ -119,7 +132,7 @@ func main() {
 		case "imagedata":
 			cfg.Source = scaffe.ImageData
 		default:
-			fatal(fmt.Errorf("unknown data backend %q", *source))
+			fatalConfig(fmt.Errorf("unknown data backend %q", *source))
 		}
 	}
 	if *bucketBytes > 0 {
@@ -128,16 +141,23 @@ func main() {
 	if *real {
 		builder, err := scaffe.RealNetBuilder(*model)
 		if err != nil {
-			fatal(err)
+			fatalConfig(err)
 		}
 		ds, err := scaffe.SyntheticDataset(*model, 1<<16, *seed)
 		if err != nil {
-			fatal(err)
+			fatalConfig(err)
 		}
 		cfg.RealNet = builder
 		cfg.Dataset = ds
 		cfg.BaseLR = 0.01
 		cfg.Momentum = 0.9
+	}
+	if *faultsFile != "" {
+		sched, err := scaffe.LoadFaultSchedule(*faultsFile)
+		if err != nil {
+			fatalConfig(err)
+		}
+		cfg.Faults = sched
 	}
 
 	var rec *scaffe.Trace
@@ -148,6 +168,13 @@ func main() {
 
 	res, err := scaffe.Train(cfg)
 	if err != nil {
+		switch {
+		case errors.Is(err, scaffe.ErrConfig):
+			fatalConfig(err)
+		case errors.Is(err, scaffe.ErrUnrecovered):
+			fmt.Fprintln(os.Stderr, "scaffe-train:", err)
+			os.Exit(exitUnrecovered)
+		}
 		fatal(err)
 	}
 
@@ -168,6 +195,14 @@ func main() {
 		res.HCAUtilization*100, res.PCIeUtilization*100)
 	if len(res.Losses) > 0 {
 		fmt.Printf("loss: first=%.4f last=%.4f\n", res.Losses[0], res.Losses[len(res.Losses)-1])
+	}
+	if res.Fault != nil {
+		fmt.Printf("faults: %v\n", res.Fault)
+		for i, rec := range res.Fault.Recoveries {
+			fmt.Printf("  recovery %d: rank %d (%v) failed at %v, detected in %v, recovered in %v; resumed iteration %d on %d survivors (rolled back: %v)\n",
+				i, rec.Rank, rec.Kind, rec.FailedAt, rec.DetectionLatency(), rec.RecoveryTime(),
+				rec.RestartIter, rec.Survivors, rec.RolledBack)
+		}
 	}
 	if *summary {
 		fmt.Println("per-rank summary (communication hidden under compute):")
@@ -199,5 +234,10 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "scaffe-train:", err)
-	os.Exit(1)
+	os.Exit(exitFailure)
+}
+
+func fatalConfig(err error) {
+	fmt.Fprintln(os.Stderr, "scaffe-train:", err)
+	os.Exit(exitConfig)
 }

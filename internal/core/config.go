@@ -10,16 +10,26 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"scaffe/internal/coll"
 	"scaffe/internal/data"
+	"scaffe/internal/fault"
 	"scaffe/internal/layers"
 	"scaffe/internal/models"
 	"scaffe/internal/sim"
 	"scaffe/internal/topology"
 	"scaffe/internal/trace"
 )
+
+// ErrConfig tags configuration errors: callers (the CLI) distinguish
+// them from runtime failures with errors.Is.
+var ErrConfig = errors.New("invalid configuration")
+
+// ErrUnrecovered tags runs that injected failures killed outright —
+// no survivors were left to shrink the world and continue.
+var ErrUnrecovered = errors.New("unrecovered failure")
 
 // Design selects the training pipeline.
 type Design int
@@ -180,6 +190,21 @@ type Config struct {
 	// ResumeFrom restores the root solver's parameters from a
 	// snapshot file before training (real mode).
 	ResumeFrom string
+	// StartIteration, with ResumeFrom, continues training from an
+	// absolute iteration: the learning-rate schedule and data order
+	// pick up where the snapshotted run left off. Zero trains from
+	// the beginning.
+	StartIteration int
+
+	// Faults scripts deterministic fault injection (see
+	// internal/fault). An empty schedule runs the standard fault-free
+	// code paths byte-for-byte; a non-empty one arms failure
+	// detection, elastic shrink/restore recovery, and the fault
+	// report in Result.
+	Faults fault.Schedule
+	// FaultTimeout overrides the failure-detection deadline quantum
+	// (default fault.DefaultTimeout).
+	FaultTimeout sim.Duration
 
 	// Trace, when non-nil, records every phase span of every rank for
 	// timeline export (see internal/trace).
@@ -218,6 +243,19 @@ func (c *Config) validate() error {
 	if c.RealNet == nil && (c.TestInterval > 0 || c.SnapshotEvery > 0 || c.ResumeFrom != "") {
 		return fmt.Errorf("core: test/snapshot/resume options need real-compute mode (RealNet)")
 	}
+	if c.StartIteration != 0 && (c.StartIteration < 0 || c.StartIteration >= c.Iterations) {
+		return fmt.Errorf("core: start iteration %d outside [0,%d)", c.StartIteration, c.Iterations)
+	}
+	if c.StartIteration > 0 && c.ResumeFrom == "" {
+		return fmt.Errorf("core: StartIteration needs ResumeFrom (a snapshot to continue from)")
+	}
+	if len(c.Faults) > 0 {
+		switch c.Design {
+		case SCB, SCOB, SCOBR, SCOBRF, CNTKLike:
+		default:
+			return fmt.Errorf("core: fault injection supports the MPI data-parallel designs only, not %s", c.Design)
+		}
+	}
 	workers := c.GPUs
 	if c.Design == ParamServer {
 		workers--
@@ -249,9 +287,34 @@ func (c *Config) validate() error {
 
 // normalize fills defaulted fields in place: reader queue depth,
 // cluster geometry (Cluster-A: 16-GPU nodes, as many as the ranks
-// need), and SC-OBR-F's bucket size. Every entry point goes through
-// validateAndDefault, so code after it sees only concrete values.
-func (c *Config) normalize() {
+// need), and SC-OBR-F's bucket size. Nonsense values — fields that
+// zero-defaulting would otherwise silently accept and that panic or
+// hang far downstream — are rejected with descriptive errors. Every
+// entry point goes through validateAndDefault, so code after it sees
+// only concrete, sane values.
+func (c *Config) normalize() error {
+	switch {
+	case c.QueueDepth < 0:
+		return fmt.Errorf("core: reader queue depth must be positive, got %d", c.QueueDepth)
+	case c.Nodes < 0:
+		return fmt.Errorf("core: node count must be positive, got %d", c.Nodes)
+	case c.GPUsPerNode < 0:
+		return fmt.Errorf("core: GPUs per node must be positive, got %d", c.GPUsPerNode)
+	case c.BucketBytes < 0:
+		return fmt.Errorf("core: bucket size must be positive, got %d bytes", c.BucketBytes)
+	case c.TestInterval < 0:
+		return fmt.Errorf("core: test interval must be positive, got %d", c.TestInterval)
+	case c.TestBatches < 0:
+		return fmt.Errorf("core: test batch count must be positive, got %d", c.TestBatches)
+	case c.SnapshotEvery < 0:
+		return fmt.Errorf("core: snapshot interval must be positive, got %d", c.SnapshotEvery)
+	case c.DeviceMemory < 0:
+		return fmt.Errorf("core: device memory must be positive, got %d bytes", c.DeviceMemory)
+	case c.FaultTimeout < 0:
+		return fmt.Errorf("core: fault-detection timeout must be positive, got %v", c.FaultTimeout)
+	case c.BaseLR < 0:
+		return fmt.Errorf("core: base learning rate must be positive, got %g", c.BaseLR)
+	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 2
 	}
@@ -264,21 +327,28 @@ func (c *Config) normalize() {
 	if c.Design == SCOBRF && c.BucketBytes == 0 {
 		c.BucketBytes = 4 << 20
 	}
+	return nil
 }
 
 // validateAndDefault validates the config, fills defaults, and then
 // checks the constraints that only make sense on a normalized config
-// (cluster capacity, Caffe's single-node limit).
+// (cluster capacity, Caffe's single-node limit, the fault schedule's
+// rank and node targets).
 func (c *Config) validateAndDefault() error {
 	if err := c.validate(); err != nil {
 		return err
 	}
-	c.normalize()
+	if err := c.normalize(); err != nil {
+		return err
+	}
 	if c.Nodes*c.GPUsPerNode < c.GPUs {
 		return fmt.Errorf("core: cluster %dx%d too small for %d GPUs", c.Nodes, c.GPUsPerNode, c.GPUs)
 	}
 	if c.Design == CaffeMT && c.GPUs > c.GPUsPerNode {
 		return fmt.Errorf("core: Caffe is single-node multi-threaded; %d GPUs exceed the node's %d", c.GPUs, c.GPUsPerNode)
+	}
+	if err := c.Faults.Validate(c.GPUs, c.Nodes); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -362,6 +432,11 @@ type Result struct {
 	// FinalParams is the root solver's packed parameter vector after
 	// the last update (real mode with Config.CaptureFinalParams only).
 	FinalParams []float32
+
+	// Fault is the fault-injection outcome — injected events,
+	// detection latencies, recovery times, survivor count. Nil for
+	// fault-free runs.
+	Fault *fault.Report
 
 	// HCAUtilization is the mean busy fraction of the InfiniBand
 	// adapters over the run (both directions), a view into how

@@ -45,7 +45,7 @@ func (st *runState) buildIteration(r *mpi.Rank, it int) *sched.Graph {
 // data plane is the single shared reader).
 func (st *runState) buildSCB(g *sched.Graph, r *mpi.Rank, it int) {
 	w := st.wl[r.ID]
-	root := r.ID == 0
+	root := st.isRoot(r)
 	st.addDataWait(g, r, w, it)
 	g.Add(0, sched.Pack, "propagation", "pack-params", func(x *sched.Ctx) {
 		if root {
@@ -75,7 +75,7 @@ func (st *runState) buildSCB(g *sched.Graph, r *mpi.Rank, it int) {
 // sits immediately before the layer that consumes the data.
 func (st *runState) buildSCOB(g *sched.Graph, r *mpi.Rank, it int) {
 	w := st.wl[r.ID]
-	root := r.ID == 0
+	root := st.isRoot(r)
 	st.addDataWait(g, r, w, it)
 	slots, drain := st.addPostPropagation(g, r, w)
 	st.addOverlappedForward(g, w, slots, root)
@@ -97,7 +97,7 @@ func (st *runState) buildSCOB(g *sched.Graph, r *mpi.Rank, it int) {
 // builder — normalization guarantees it always has buckets.
 func (st *runState) buildSCOBR(g *sched.Graph, r *mpi.Rank, it int) {
 	w := st.wl[r.ID]
-	root := r.ID == 0
+	root := st.isRoot(r)
 	nLayers := len(st.cfg.Spec.Layers)
 	st.addDataWait(g, r, w, it)
 	slots, drain := st.addPostPropagation(g, r, w)
@@ -236,7 +236,7 @@ func (st *runState) addPostPropagation(g *sched.Graph, r *mpi.Rank, w *workload)
 	}
 	drain := sched.NewSlot()
 	g.Add(0, sched.PostBcast, "", "post-bcasts", func(x *sched.Ctx) {
-		if r.ID == 0 {
+		if st.isRoot(r) {
 			w.packParams()
 		}
 		for l, buf := range w.layerParam {
@@ -329,7 +329,7 @@ func (st *runState) addUpdate(g *sched.Graph, w *workload, it, workers int) {
 		_, end := x.R.Dev.LaunchCompute(x.P.Now(), updateFLOPs(st.cfg.Spec.TotalParams()))
 		if w.real() {
 			w.unpackGrads()
-			st.sgds[0].Step(w.net, it, 1/float32(workers))
+			st.sgds[x.R.ID].Step(w.net, it, 1/float32(workers))
 		}
 		x.P.WaitUntil(end)
 	})
@@ -338,6 +338,7 @@ func (st *runState) addUpdate(g *sched.Graph, w *workload, it, workers int) {
 			st.losses = append(st.losses, w.loss())
 		}
 		st.maybeEvaluate(x.R, w, it)
+		st.noteCompleted(it)
 	})
 }
 
@@ -354,12 +355,13 @@ func (st *runState) addLocalUpdate(g *sched.Graph, r *mpi.Rank, w *workload, it 
 		x.P.WaitUntil(end)
 	})
 	g.Add(0, sched.Generic, "", "post-update", func(x *sched.Ctx) {
-		if r.ID == 0 {
+		if st.isRoot(r) {
 			if w.real() {
 				st.losses = append(st.losses, w.loss())
 			}
 			st.maybeEvaluate(x.R, w, it)
 		}
+		st.noteCompleted(it)
 	})
 }
 

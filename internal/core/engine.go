@@ -5,6 +5,7 @@ import (
 
 	"scaffe/internal/coll"
 	"scaffe/internal/data"
+	"scaffe/internal/fault"
 	"scaffe/internal/gpu"
 	"scaffe/internal/mpi"
 	"scaffe/internal/pfs"
@@ -42,7 +43,20 @@ type runState struct {
 
 	accuracies []float64
 	snapshots  []string
+	snapIters  []int // 0-based iteration of each entry in snapshots
 	fileErr    error
+
+	// Fault-tolerance state (nil/zero in fault-free runs; see
+	// recovery.go).
+	k            *sim.Kernel
+	ft           *fault.Plane
+	dataSrc      data.Source
+	ranksLive    int
+	doneAt       sim.Time
+	restartIter  int
+	lastGoodIter int
+	epoch        int // recovery epochs, for reader proc naming
+	recSeen      int // fault.Recovery records already processed
 }
 
 // updateFLOPs is the arithmetic cost of one SGD update over n
@@ -57,7 +71,7 @@ func Run(cfg Config) (*Result, error) {
 
 func run(cfg Config) (*Result, *runState, error) {
 	if err := cfg.validateAndDefault(); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("%w: %w", ErrConfig, err)
 	}
 
 	k := sim.New()
@@ -85,9 +99,18 @@ func run(cfg Config) (*Result, *runState, error) {
 		return nil, nil, err
 	}
 
-	st := &runState{cfg: &cfg, cluster: cluster}
+	st := &runState{cfg: &cfg, cluster: cluster, k: k}
 	st.world = mpi.NewWorld(cluster, cfg.GPUs)
 	st.comm = st.world.WorldComm()
+	var pl *fault.Plane
+	if len(cfg.Faults) > 0 {
+		pl = fault.NewPlane(k, cfg.GPUs, cfg.FaultTimeout)
+		st.ft = pl
+		st.world.Fault = pl
+		st.ranksLive = cfg.GPUs
+		st.lastGoodIter = cfg.StartIteration - 1
+		cluster.SetLinkFault(pl.LinkFactor)
+	}
 	opts := cfg.ReduceOpts
 	if opts == (coll.Options{}) {
 		opts = coll.DefaultOptions()
@@ -125,7 +148,7 @@ func run(cfg Config) (*Result, *runState, error) {
 	}
 	st.buildReaders(k, localBatch)
 
-	_, err := st.world.Run(func(r *mpi.Rank) {
+	mainFn := func(r *mpi.Rank) {
 		if cfg.DeviceMemory > 0 {
 			r.Dev.SetMemCapacity(cfg.DeviceMemory)
 		}
@@ -134,18 +157,43 @@ func run(cfg Config) (*Result, *runState, error) {
 			return
 		}
 		sink := &nodeSink{st: st, rank: r.ID, ph: &st.phases[r.ID]}
-		for it := 0; it < cfg.Iterations; it++ {
+		if st.ft != nil {
+			st.runRankFT(r, sink)
+			return
+		}
+		for it := cfg.StartIteration; it < cfg.Iterations; it++ {
 			st.buildIteration(r, it).Execute(sink)
 		}
-	})
+	}
+	var err error
+	if pl != nil {
+		// The fault path drives the kernel directly: the plane's
+		// events must be armed after the ranks spawn and before time
+		// advances.
+		st.world.Spawn(mainFn)
+		pl.OnRebuild(st.rebuild)
+		pl.Arm(cfg.Faults, &applier{st})
+		err = k.Run()
+	} else {
+		_, err = st.world.Run(mainFn)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: simulation failed: %w", err)
 	}
 	if st.fileErr != nil {
 		return nil, nil, fmt.Errorf("core: snapshot failed: %w", st.fileErr)
 	}
+	if pl != nil && pl.AliveCount() == 0 {
+		return nil, nil, fmt.Errorf("%w: all %d ranks failed", ErrUnrecovered, cfg.GPUs)
+	}
 
 	total := st.world.K.Now()
+	if pl != nil && st.doneAt > 0 {
+		// Elastic readers outlive the last rank by design; the run
+		// ends when the last rank finishes, not when the kernel
+		// drains.
+		total = st.doneAt
+	}
 	res := &Result{
 		Design:        cfg.Design.String(),
 		Model:         cfg.Spec.Name,
@@ -161,7 +209,10 @@ func run(cfg Config) (*Result, *runState, error) {
 		Accuracies:    st.accuracies,
 		SnapshotFiles: st.snapshots,
 	}
-	samples := float64(cfg.Iterations) * float64(localBatch) * float64(workers)
+	if pl != nil {
+		res.Fault = pl.Report()
+	}
+	samples := float64(cfg.Iterations-cfg.StartIteration) * float64(localBatch) * float64(workers)
 	if total > 0 {
 		res.SamplesPerSec = samples / total.Seconds()
 		res.HCAUtilization, res.PCIeUtilization = linkUtilization(cluster, cfg.GPUs, total)
@@ -174,9 +225,19 @@ func run(cfg Config) (*Result, *runState, error) {
 	return res, st, nil
 }
 
-// rootRank is the solver that applies updates (rank 0 everywhere
-// except the parameter-server design, whose rank 0 is the server).
-func (st *runState) rootRank() int { return 0 }
+// rootRank is the world rank of the solver that applies updates: the
+// training comm's group rank 0 (which moves when a shrink removes the
+// old root), except under the parameter-server design, whose rank 0
+// is the server.
+func (st *runState) rootRank() int {
+	if st.cfg.Design == ParamServer {
+		return 0
+	}
+	return st.comm.WorldRank(0)
+}
+
+// isRoot reports whether r is the updating solver (see rootRank).
+func (st *runState) isRoot(r *mpi.Rank) bool { return r.ID == st.rootRank() }
 
 // linkUtilization computes the mean busy fraction of the HCAs of the
 // nodes hosting ranks, and of the PCIe links of the rank-occupied
@@ -246,11 +307,25 @@ func (st *runState) buildReaders(k *sim.Kernel, localBatch int) {
 	}
 
 	st.readers = make([]*data.Reader, cfg.GPUs)
+	if st.ft != nil {
+		// Fault-tolerant runs use elastic readers: the consumption
+		// count is unknowable up front (rollbacks re-read iterations,
+		// shrinks change the batch size), so readers prefetch forever,
+		// bounded by the queue, until stopped. Config validation
+		// restricts faults to the per-rank-reader designs.
+		st.dataSrc = src
+		for i := 0; i < cfg.GPUs; i++ {
+			st.readers[i] = data.StartReaderLoop(k, fmt.Sprintf("reader%d", i),
+				stalledSource{inner: src, pl: st.ft, rank: i}, localBatch, cfg.Spec.PerSampleBytes, cfg.QueueDepth)
+		}
+		return
+	}
+	iters := cfg.Iterations - cfg.StartIteration
 	if cfg.Design == CaffeMT {
 		// One reader thread feeds every solver through the shared
 		// queue: it loads the whole global batch, then releases one
 		// token per solver.
-		shared := data.StartSharedReader(k, "reader", src, localBatch*cfg.GPUs, cfg.Spec.PerSampleBytes, cfg.Iterations, cfg.GPUs, cfg.QueueDepth*cfg.GPUs)
+		shared := data.StartSharedReader(k, "reader", src, localBatch*cfg.GPUs, cfg.Spec.PerSampleBytes, iters, cfg.GPUs, cfg.QueueDepth*cfg.GPUs)
 		for i := range st.readers {
 			st.readers[i] = shared
 		}
@@ -263,7 +338,7 @@ func (st *runState) buildReaders(k *sim.Kernel, localBatch int) {
 		if cfg.Design == ModelParallel && i != 0 {
 			continue // only the pipeline's first stage reads data
 		}
-		st.readers[i] = data.StartReader(k, fmt.Sprintf("reader%d", i), src, localBatch, cfg.Spec.PerSampleBytes, cfg.Iterations, cfg.QueueDepth)
+		st.readers[i] = data.StartReader(k, fmt.Sprintf("reader%d", i), src, localBatch, cfg.Spec.PerSampleBytes, iters, cfg.QueueDepth)
 	}
 }
 
@@ -293,12 +368,14 @@ func (st *runState) dataWait(r *mpi.Rank, w *workload, ph *Phases, iter int) {
 	}
 }
 
-// workerIndex returns this rank's position among training workers.
+// workerIndex returns this rank's position among training workers —
+// its group rank in the (possibly shrunken) training comm, so a
+// recovery automatically re-shards the batch across survivors.
 func (st *runState) workerIndex(r *mpi.Rank) int {
 	if st.cfg.Design == ParamServer {
 		return r.ID - 1
 	}
-	return r.ID
+	return st.comm.GroupRank(r.ID)
 }
 
 // workerCount returns the number of training workers.
@@ -306,7 +383,7 @@ func (st *runState) workerCount() int {
 	if st.cfg.Design == ParamServer {
 		return st.cfg.GPUs - 1
 	}
-	return st.cfg.GPUs
+	return st.comm.Size()
 }
 
 // RunDebug is Run plus the full per-rank phase table (diagnostics and

@@ -83,17 +83,37 @@ func (st *runState) maybeEvaluate(r *mpi.Rank, w *workload, iter int) {
 		st.testPass(r, w, iter)
 	}
 	if cfg.SnapshotEvery > 0 && (iter+1)%cfg.SnapshotEvery == 0 {
+		if st.ft != nil && st.ft.SnapshotFailing(r.Now()) {
+			// An injected snapshot-write failure: the write is skipped
+			// (and counted); the previous snapshot stays the rollback
+			// point, exactly as the crash-safe rename guarantees for a
+			// real interrupted write.
+			return
+		}
 		w.packParams()
 		path := snapshotPath(cfg.SnapshotPrefix, iter)
 		snap := &Snapshot{Model: cfg.Spec.Name, Iteration: iter, Params: append([]float32(nil), w.paramData...)}
+		snap.History = st.sgds[r.ID].PackHistory(w.net, nil)
 		if err := WriteSnapshot(path, snap); err != nil {
 			if st.fileErr == nil {
 				st.fileErr = err
 			}
 			return
 		}
-		st.snapshots = append(st.snapshots, path)
+		st.noteSnapshot(path, iter)
 	}
+}
+
+// noteSnapshot records a written snapshot, deduplicating paths (a
+// post-rollback replay rewrites the snapshots of the replayed span).
+func (st *runState) noteSnapshot(path string, iter int) {
+	for _, p := range st.snapshots {
+		if p == path {
+			return
+		}
+	}
+	st.snapshots = append(st.snapshots, path)
+	st.snapIters = append(st.snapIters, iter)
 }
 
 // resume restores every replica's parameters from a snapshot file (all
@@ -110,9 +130,13 @@ func (st *runState) resume(path string) error {
 	if len(snap.Params) != st.cfg.Spec.TotalParams() {
 		return fmt.Errorf("core: snapshot has %d parameters, model needs %d", len(snap.Params), st.cfg.Spec.TotalParams())
 	}
-	for _, w := range st.wl {
-		if w.real() {
-			w.net.UnpackParams(snap.Params)
+	for i, w := range st.wl {
+		if !w.real() {
+			continue
+		}
+		w.net.UnpackParams(snap.Params)
+		if len(snap.History) > 0 {
+			st.sgds[i].LoadHistory(w.net, snap.History)
 		}
 	}
 	return nil

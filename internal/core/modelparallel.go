@@ -71,7 +71,7 @@ func (st *runState) runMP(r *mpi.Rank) {
 	}
 
 	const tagFwd, tagBwd = 70, 71
-	for it := 0; it < cfg.Iterations; it++ {
+	for it := cfg.StartIteration; it < cfg.Iterations; it++ {
 		if first {
 			st.dataWait(r, st.wl[r.ID], ph, it)
 		}

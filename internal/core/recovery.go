@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/data"
+	"scaffe/internal/fault"
+	"scaffe/internal/mpi"
+	"scaffe/internal/sim"
+)
+
+// This file is the engine's side of elastic fault tolerance: the
+// fault plane (internal/fault) injects failures and detects them
+// through the MPI layer's deadline-sliced waits; the code here turns
+// a detected failure into a continued run — survivors shrink the
+// communicator, re-shard the batch, restore solver state from the
+// latest snapshot (real mode) or the last globally completed
+// iteration (timing mode), and keep training.
+
+// applier carries out injected events on the engine's objects.
+type applier struct{ st *runState }
+
+// KillRank implements fault.Applier: fail-stop the rank's procs and
+// its data reader. Hangs are modeled fail-stop too — the rank stops
+// participating; only the report distinguishes the kinds.
+func (a *applier) KillRank(rank int, kind fault.Kind) {
+	st := a.st
+	st.world.Ranks[rank].KillAll()
+	if rd := st.readers[rank]; rd != nil {
+		rd.Stop()
+		st.readers[rank] = nil
+	}
+}
+
+// SetCompute implements fault.Applier: straggler on/off.
+func (a *applier) SetCompute(rank int, factor float64) {
+	a.st.world.Ranks[rank].Dev.SetSlowdown(factor)
+}
+
+// stalledSource wraps a rank's data source with the plane's
+// reader-stall windows: a read issued during a stall waits the window
+// out, then proceeds at the backend's normal cost.
+type stalledSource struct {
+	inner data.Source
+	pl    *fault.Plane
+	rank  int
+}
+
+func (s stalledSource) Name() string { return s.inner.Name() }
+
+func (s stalledSource) ReadBatch(p *sim.Proc, n int, bytesPer int64) {
+	if until := s.pl.StallUntil(s.rank); until > p.Now() {
+		p.WaitUntil(until)
+	}
+	s.inner.ReadBatch(p, n, bytesPer)
+}
+
+// noteCompleted records global training progress (root's post-update
+// node): the restart point for timing-mode recovery, which has no
+// snapshots to roll back to.
+func (st *runState) noteCompleted(it int) {
+	if st.ft != nil && it > st.lastGoodIter {
+		st.lastGoodIter = it
+	}
+}
+
+// runRankFT is one rank's training loop under an armed fault plane:
+// iterations run speculatively; a revoked communicator unwinds the
+// iteration, gathers the survivors, and resumes from the rebuilt
+// world's restart point.
+func (st *runState) runRankFT(r *mpi.Rank, sink *nodeSink) {
+	defer st.rankDone(r.ID)
+	cfg := st.cfg
+	for it := cfg.StartIteration; it < cfg.Iterations; {
+		if st.tryIteration(r, sink, it) {
+			it++
+			continue
+		}
+		// Revocation observed: rendezvous with every surviving rank.
+		// The last arrival triggers rebuild() and releases everyone;
+		// training resumes from the restart point it chose.
+		st.ft.EnterRecovery(r.ID, r.Proc)
+		it = st.restartIter
+	}
+}
+
+// tryIteration runs one iteration graph, converting a revocation
+// panic into a false return. Any other panic (including a kill, which
+// must unwind the whole proc) propagates.
+func (st *runState) tryIteration(r *mpi.Rank, sink *nodeSink, it int) (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if mpi.IsRevoked(rec) {
+				ok = false
+				return
+			}
+			panic(rec)
+		}
+	}()
+	st.buildIteration(r, it).Execute(sink)
+	return true
+}
+
+// rankDone runs as each rank's proc unwinds (normal completion or
+// kill): it tells the plane the rank left training, and the last one
+// out stamps the run's end time and stops the elastic readers.
+func (st *runState) rankDone(rank int) {
+	st.ranksLive--
+	st.ft.Depart(rank)
+	if st.ranksLive == 0 {
+		st.doneAt = st.k.Now()
+		for _, rd := range st.readers {
+			if rd != nil {
+				rd.Stop()
+			}
+		}
+	}
+}
+
+// rebuild is the plane's recovery hook, run exactly once per round
+// with every survivor parked: shrink the communicator to the
+// survivors, rebuild their training state at the new batch geometry,
+// restore solver state, restart the data plane, and return the
+// iteration training resumes from.
+func (st *runState) rebuild() int {
+	cfg := st.cfg
+	pl := st.ft
+	alive := pl.AliveRanks()
+
+	// Fail-stop any helper lanes still unwinding from the revoked
+	// iteration; the resumed main lanes spawn fresh ones.
+	for _, id := range alive {
+		st.world.Ranks[id].KillThreads()
+	}
+
+	// Shrink: a fresh communicator over the survivors. Its new id
+	// guarantees stale traffic from the failed epoch never matches.
+	st.comm = st.world.ShrinkComm(alive)
+	opts := cfg.ReduceOpts
+	if opts == (coll.Options{}) {
+		opts = coll.DefaultOptions()
+	}
+	st.red = coll.NewReducer(st.comm, cfg.Reduce, opts)
+
+	// Re-shard: the global batch redistributes over the survivors.
+	newLocal := cfg.localBatch(len(alive))
+	for _, id := range alive {
+		w := newWorkload(cfg, newLocal)
+		if cfg.BucketBytes > 0 && (cfg.Design == SCOBR || cfg.Design == SCOBRF) {
+			w.buildBuckets(cfg.Spec, cfg.BucketBytes)
+		}
+		st.wl[id] = w
+	}
+
+	// Restore. Real mode rolls back to the latest on-disk snapshot
+	// (or a cold restart when none exists yet); timing mode continues
+	// after the last globally completed iteration — there is no model
+	// state to make consistent.
+	restart := 0
+	rolledBack := false
+	if cfg.RealNet != nil {
+		var snap *Snapshot
+		if n := len(st.snapshots); n > 0 {
+			s, err := ReadSnapshot(st.snapshots[n-1])
+			if err != nil && st.fileErr == nil {
+				st.fileErr = err
+			}
+			snap = s
+		}
+		if snap != nil {
+			restart = snap.Iteration + 1
+			rolledBack = true
+			for _, id := range alive {
+				st.wl[id].net.UnpackParams(snap.Params)
+				st.sgds[id].Reset()
+				if len(snap.History) > 0 {
+					st.sgds[id].LoadHistory(st.wl[id].net, snap.History)
+				}
+			}
+		} else {
+			// Cold restart: newWorkload already rebuilt every net from
+			// the seed; drop the momentum to match, and re-apply an
+			// explicit resume checkpoint if the run started from one.
+			restart = cfg.StartIteration
+			for _, id := range alive {
+				st.sgds[id].Reset()
+			}
+			if cfg.ResumeFrom != "" {
+				if err := st.resume(cfg.ResumeFrom); err != nil && st.fileErr == nil {
+					st.fileErr = err
+				}
+			}
+		}
+		// Un-record the rolled-back span: the replay re-records it.
+		if keep := restart - cfg.StartIteration; keep >= 0 && keep < len(st.losses) {
+			st.losses = st.losses[:keep]
+		}
+		if ti := cfg.TestInterval; ti > 0 {
+			if keep := restart/ti - cfg.StartIteration/ti; keep >= 0 && keep < len(st.accuracies) {
+				st.accuracies = st.accuracies[:keep]
+			}
+		}
+	} else {
+		restart = st.lastGoodIter + 1
+	}
+
+	// Restart the surviving data plane at the new batch size.
+	st.epoch++
+	for _, id := range alive {
+		if rd := st.readers[id]; rd != nil {
+			rd.Stop()
+		}
+		st.readers[id] = data.StartReaderLoop(st.k, fmt.Sprintf("reader%d.e%d", id, st.epoch),
+			stalledSource{inner: st.dataSrc, pl: pl, rank: id}, newLocal, cfg.Spec.PerSampleBytes, cfg.QueueDepth)
+	}
+
+	// Observability: stamp the rollback flag on this round's records
+	// and emit one recovery span per survivor.
+	recs := pl.Report().Recoveries
+	if n := len(recs); n > st.recSeen {
+		if rolledBack {
+			pl.NoteRollback(n - st.recSeen)
+		}
+		detect := recs[st.recSeen].DetectedAt
+		for i := st.recSeen + 1; i < n; i++ {
+			if recs[i].DetectedAt < detect {
+				detect = recs[i].DetectedAt
+			}
+		}
+		for _, id := range alive {
+			st.cfg.Trace.Add(id, "recovery", detect, st.k.Now())
+		}
+		st.recSeen = n
+	}
+
+	st.restartIter = restart
+	return restart
+}

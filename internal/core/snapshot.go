@@ -12,8 +12,14 @@ import (
 // parameter vector, like Caffe's solver snapshots, so long trainings
 // can resume. The format is a small binary container with a CRC-free
 // but length-checked layout (corruption surfaces as a decode error).
+// Version 2 adds the packed momentum vector, so a resumed run
+// continues bit-identically to one that never stopped; version 1
+// files still load (with cold momentum).
 
-var snapshotMagic = []byte("SCAFFESNAP1\n")
+var (
+	snapshotMagicV1 = []byte("SCAFFESNAP1\n")
+	snapshotMagic   = []byte("SCAFFESNAP2\n")
+)
 
 // Snapshot is a serialized solver state.
 type Snapshot struct {
@@ -23,11 +29,20 @@ type Snapshot struct {
 	Iteration int
 	// Params is the packed parameter vector.
 	Params []float32
+	// History is the packed momentum vector (same length and order as
+	// Params). Empty means cold momentum — a v1 snapshot, or a solver
+	// that never stepped.
+	History []float32
 }
 
-// WriteSnapshot saves a snapshot to path.
+// WriteSnapshot saves a snapshot to path. The write is crash-safe: it
+// goes to a temporary file in the same directory and renames into
+// place, so an interrupted write can never leave a truncated
+// .scaffemodel behind — path either holds its previous content or the
+// complete new snapshot.
 func WriteSnapshot(path string, s *Snapshot) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("core: snapshot: %w", err)
 	}
@@ -45,11 +60,24 @@ func WriteSnapshot(path string, s *Snapshot) error {
 	for _, v := range s.Params {
 		writeU32(math.Float32bits(v))
 	}
+	writeU32(uint32(len(s.History)))
+	for _, v := range s.History {
+		writeU32(math.Float32bits(v))
+	}
 	if err := w.Flush(); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("core: snapshot flush: %w", err)
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("core: snapshot rename: %w", err)
+	}
+	return nil
 }
 
 // ReadSnapshot loads a snapshot from path.
@@ -58,7 +86,17 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: snapshot: %w", err)
 	}
-	if len(raw) < len(snapshotMagic)+12 || string(raw[:len(snapshotMagic)]) != string(snapshotMagic) {
+	return decodeSnapshot(path, raw)
+}
+
+// decodeSnapshot parses snapshot bytes (either format version). Every
+// length is validated before the corresponding allocation, so
+// arbitrarily corrupt input yields an error, never a panic or an
+// absurd allocation (the fuzz target drives this directly).
+func decodeSnapshot(path string, raw []byte) (*Snapshot, error) {
+	v2 := len(raw) >= len(snapshotMagic) && string(raw[:len(snapshotMagic)]) == string(snapshotMagic)
+	v1 := len(raw) >= len(snapshotMagicV1) && string(raw[:len(snapshotMagicV1)]) == string(snapshotMagicV1)
+	if !v1 && !v2 {
 		return nil, fmt.Errorf("core: %s is not a snapshot file", path)
 	}
 	p := len(snapshotMagic)
@@ -74,7 +112,7 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p+int(nameLen) > len(raw) {
+	if int(nameLen) > len(raw)-p {
 		return nil, fmt.Errorf("core: snapshot %s truncated in name", path)
 	}
 	s := &Snapshot{Model: string(raw[p : p+int(nameLen)])}
@@ -84,17 +122,39 @@ func ReadSnapshot(path string) (*Snapshot, error) {
 		return nil, err
 	}
 	s.Iteration = int(iter)
-	count, err := readU32()
-	if err != nil {
+	readVector := func(what string, wantRest bool) ([]float32, error) {
+		count, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		rest := (len(raw) - p) / 4
+		if int(count) > rest || (len(raw)-p)%4 != 0 {
+			return nil, fmt.Errorf("core: snapshot %s truncated in %s", path, what)
+		}
+		if wantRest && int(count) != rest {
+			return nil, fmt.Errorf("core: snapshot %s has %d trailing bytes", path, len(raw)-p-4*int(count))
+		}
+		vec := make([]float32, count)
+		for i := range vec {
+			vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[p:]))
+			p += 4
+		}
+		return vec, nil
+	}
+	if v1 {
+		if s.Params, err = readVector("params", true); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if s.Params, err = readVector("params", false); err != nil {
 		return nil, err
 	}
-	if p+4*int(count) != len(raw) {
-		return nil, fmt.Errorf("core: snapshot %s has %d trailing/missing bytes", path, len(raw)-p-4*int(count))
+	if s.History, err = readVector("history", true); err != nil {
+		return nil, err
 	}
-	s.Params = make([]float32, count)
-	for i := range s.Params {
-		s.Params[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[p:]))
-		p += 4
+	if n := len(s.History); n != 0 && n != len(s.Params) {
+		return nil, fmt.Errorf("core: snapshot %s history length %d != params %d", path, n, len(s.Params))
 	}
 	return s, nil
 }

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotRoundtripWithHistory checks the v2 write/read cycle
+// preserves the full solver state, momentum included.
+func TestSnapshotRoundtripWithHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rt.scaffemodel")
+	want := &Snapshot{
+		Model:     "tiny",
+		Iteration: 41,
+		Params:    []float32{1.5, -2.25, 0, float32(math.Inf(1))},
+		History:   []float32{0.5, 0.25, -0.125, 4096},
+	}
+	if err := WriteSnapshot(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSnapshotWriteLeavesNoTemp verifies the crash-safe write protocol:
+// after a successful write only the final file exists, and rewriting an
+// existing snapshot replaces it atomically.
+func TestSnapshotWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.scaffemodel")
+	for i := 0; i < 2; i++ {
+		s := &Snapshot{Model: "tiny", Iteration: i, Params: []float32{float32(i)}}
+		if err := WriteSnapshot(path, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "snap.scaffemodel" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory after writes = %v, want only snap.scaffemodel", names)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != 1 {
+		t.Errorf("snapshot iteration = %d, want the rewrite (1)", got.Iteration)
+	}
+}
+
+// encodeV1 builds a version-1 snapshot byte stream (no momentum
+// section) by hand, as the pre-momentum code wrote it.
+func encodeV1(model string, iter int, params []float32) []byte {
+	buf := append([]byte{}, snapshotMagicV1...)
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	u32(uint32(len(model)))
+	buf = append(buf, model...)
+	u32(uint32(iter))
+	u32(uint32(len(params)))
+	for _, v := range params {
+		u32(math.Float32bits(v))
+	}
+	return buf
+}
+
+// TestSnapshotV1Compat checks that old-format snapshots still load,
+// with cold (nil) momentum.
+func TestSnapshotV1Compat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.scaffemodel")
+	params := []float32{3, 1, 4, 1, 5}
+	if err := os.WriteFile(path, encodeV1("lenet", 9, params), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != "lenet" || got.Iteration != 9 || !reflect.DeepEqual(got.Params, params) {
+		t.Errorf("v1 load = %+v", got)
+	}
+	if got.History != nil {
+		t.Errorf("v1 load history = %v, want nil (cold momentum)", got.History)
+	}
+}
+
+// TestSnapshotDecodeRejectsCorruption feeds decodeSnapshot a gallery of
+// malformed inputs; each must error, never panic or over-allocate.
+func TestSnapshotDecodeRejectsCorruption(t *testing.T) {
+	valid := encodeV1("m", 1, []float32{1, 2})
+	cases := map[string][]byte{
+		"empty":          nil,
+		"bad magic":      []byte("SCAFFESNAP9\nxxxx"),
+		"magic only":     append([]byte{}, snapshotMagic...),
+		"truncated name": valid[:len(snapshotMagicV1)+4],
+		"huge name len":  append(append([]byte{}, snapshotMagicV1...), 0xff, 0xff, 0xff, 0xff),
+		"truncated vec":  valid[:len(valid)-3],
+		"trailing bytes": append(append([]byte{}, valid...), 0, 0, 0, 0),
+		"huge vec count": func() []byte {
+			b := append([]byte{}, valid...)
+			binary.LittleEndian.PutUint32(b[len(b)-12:], 1<<31)
+			return b
+		}(),
+		"misaligned tail": append(append([]byte{}, valid...), 1),
+	}
+	for name, raw := range cases {
+		if _, err := decodeSnapshot(name, raw); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+// FuzzSnapshotDecode drives the snapshot decoder with arbitrary bytes.
+// The invariants: never panic, never allocate beyond the input size,
+// and any successfully decoded snapshot re-encodes byte-stably through
+// WriteSnapshot + ReadSnapshot.
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeV1("tiny", 3, []float32{1, -2, 0.5}))
+	v2 := func() []byte {
+		path := filepath.Join(f.TempDir(), "seed.scaffemodel")
+		s := &Snapshot{Model: "tiny", Iteration: 7, Params: []float32{1, 2}, History: []float32{3, 4}}
+		if err := WriteSnapshot(path, s); err != nil {
+			f.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return raw
+	}()
+	f.Add(v2)
+	f.Add(v2[:len(v2)-2])
+	f.Add(append([]byte{}, snapshotMagic...))
+	f.Add([]byte("SCAFFESNAP1\n\x04\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := decodeSnapshot("fuzz", raw)
+		if err != nil {
+			return
+		}
+		if len(s.Params)*4 > len(raw) || len(s.History)*4 > len(raw) {
+			t.Fatalf("decoded %d params / %d history floats from %d input bytes",
+				len(s.Params), len(s.History), len(raw))
+		}
+		path := filepath.Join(t.TempDir(), "re.scaffemodel")
+		if err := WriteSnapshot(path, s); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadSnapshot(path)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		if back.Model != s.Model || back.Iteration != s.Iteration ||
+			len(back.Params) != len(s.Params) || len(back.History) != len(s.History) {
+			t.Fatalf("re-encode changed shape: %+v vs %+v", back, s)
+		}
+	})
+}

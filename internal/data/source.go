@@ -124,14 +124,15 @@ func (s *ImageDataSource) ReadBatch(p *sim.Proc, n int, bytesPer int64) {
 // the solver up to the queue depth, hiding I/O behind compute when the
 // backend can keep up.
 type Reader struct {
-	q *sim.Queue
+	q    *sim.Queue
+	proc *sim.Proc
 }
 
 // StartReader spawns the reader proc: it loads `iterations` batches of
 // n samples and enqueues a token per batch.
 func StartReader(k *sim.Kernel, name string, src Source, n int, bytesPer int64, iterations, depth int) *Reader {
 	r := &Reader{q: k.NewQueue(depth)}
-	k.Spawn(name, func(p *sim.Proc) {
+	r.proc = k.Spawn(name, func(p *sim.Proc) {
 		for i := 0; i < iterations; i++ {
 			src.ReadBatch(p, n, bytesPer)
 			r.q.Put(p, i)
@@ -140,12 +141,35 @@ func StartReader(k *sim.Kernel, name string, src Source, n int, bytesPer int64, 
 	return r
 }
 
+// StartReaderLoop spawns an elastic reader: it prefetches forever
+// (bounded by the queue depth) until Stop. Fault-tolerant runs use it
+// because their consumption count is not known up front — a rollback
+// re-reads iterations and a shrink changes the batch geometry.
+func StartReaderLoop(k *sim.Kernel, name string, src Source, n int, bytesPer int64, depth int) *Reader {
+	r := &Reader{q: k.NewQueue(depth)}
+	r.proc = k.Spawn(name, func(p *sim.Proc) {
+		for i := 0; ; i++ {
+			src.ReadBatch(p, n, bytesPer)
+			r.q.Put(p, i)
+		}
+	})
+	return r
+}
+
+// Stop kills the reader proc (crash injection and elastic recovery).
+// Safe to call more than once.
+func (r *Reader) Stop() {
+	if r.proc != nil {
+		r.proc.Kill()
+	}
+}
+
 // StartSharedReader spawns the original Caffe design: a single reader
 // thread loads each iteration's whole batch, then releases one token
 // per consuming solver through the shared queue.
 func StartSharedReader(k *sim.Kernel, name string, src Source, batchPerIter int, bytesPer int64, iterations, consumers, depth int) *Reader {
 	r := &Reader{q: k.NewQueue(depth)}
-	k.Spawn(name, func(p *sim.Proc) {
+	r.proc = k.Spawn(name, func(p *sim.Proc) {
 		for i := 0; i < iterations; i++ {
 			src.ReadBatch(p, batchPerIter, bytesPer)
 			for c := 0; c < consumers; c++ {

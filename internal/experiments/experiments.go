@@ -108,6 +108,7 @@ func All() []Runner {
 		{"scobrf", "Extension: SC-OBR-F fused-bucket design vs per-layer SC-OBR", SCOBRF},
 		{"mpdp", "Extension: data-parallel vs model-parallel (Table 1 design space)", MPvsDP},
 		{"accuracy", "Real-compute training equivalence (the §6.2 accuracy validation)", Accuracy},
+		{"faults", "Extension: MTBF × snapshot-interval sweep of elastic fault tolerance", Faults},
 	}
 }
 

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/core"
+	"scaffe/internal/data"
+	"scaffe/internal/fault"
+	"scaffe/internal/layers"
+	"scaffe/internal/models"
+	"scaffe/internal/sim"
+)
+
+// Faults sweeps crash rate (MTBF) against snapshot interval for the
+// elastic fault-tolerance extension: survivors of each injected crash
+// shrink the world, roll back to the latest snapshot, and continue.
+// The table is the simulator's version of the classic Young/Daly
+// tradeoff — snapshotting often bounds the replay a rollback repeats,
+// snapshotting rarely wastes less fault-free time; the optimum moves
+// with the failure rate. (Snapshot writes here are off the virtual
+// clock, so overhead isolates the recovery cost: detection, shrink,
+// and replay.)
+func Faults(o Options) (*Table, error) {
+	iters := o.iters(48)
+	if iters < 16 {
+		iters = 16
+	}
+	dir, err := os.MkdirTemp("", "scaffe-faults")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	mk := func(name string, snapshotEvery int) core.Config {
+		cfg := core.Config{
+			Spec:        models.SpecFromNet(models.BuildTinyNet(1, 1)),
+			RealNet:     models.BuildTinyNet,
+			Dataset:     data.NewSynthetic("tiny", layers.Shape{C: 3, H: 8, W: 8}, 4, 1<<16, 11),
+			GPUs:        4,
+			Nodes:       2,
+			GPUsPerNode: 2,
+			GlobalBatch: 32,
+			Iterations:  iters,
+			Design:      core.SCOB,
+			Reduce:      coll.Binomial,
+			Source:      core.MemorySource,
+			Seed:        7,
+			BaseLR:      0.05,
+			Momentum:    0.9,
+		}
+		if snapshotEvery > 0 {
+			cfg.SnapshotEvery = snapshotEvery
+			cfg.SnapshotPrefix = filepath.Join(dir, name)
+		}
+		return cfg
+	}
+
+	// Calibrate: a fault-free run fixes the virtual timescale, so
+	// crash times derive deterministically from the config instead of
+	// being hardcoded against the cluster model.
+	base, err := core.Run(mk("base", 0))
+	if err != nil {
+		return nil, err
+	}
+	baseT := base.TotalTime
+
+	t := &Table{
+		ID:    "faults",
+		Title: fmt.Sprintf("Crash rate vs snapshot interval: recovery overhead of elastic fault tolerance (tiny net, 4 GPUs, %d iterations)", iters),
+		Columns: []string{"MTBF", "snapshot every", "crashes", "survivors",
+			"mean detect", "mean recover", "total time", "overhead"},
+	}
+
+	// Crash ranks from the top so the root (and with it the loss
+	// record) survives every scenario.
+	crashRanks := []int{3, 2}
+	for _, mtbf := range []sim.Duration{sim.Duration(baseT) / 2, sim.Duration(baseT) / 4} {
+		var crashes fault.Schedule
+		for i, rank := range crashRanks {
+			at := sim.Time(mtbf) * sim.Time(i+1)
+			if at >= sim.Time(float64(baseT)*0.9) {
+				break
+			}
+			crashes = append(crashes, fault.Event{At: at, Kind: fault.Crash, Rank: rank})
+		}
+		for _, every := range []int{0, iters / 12, iters / 6, iters / 3} {
+			name := fmt.Sprintf("m%v-e%d", mtbf, every)
+			cfg := mk(name, every)
+			cfg.Faults = crashes
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("faults experiment (%s): %w", name, err)
+			}
+			rep := res.Fault
+			var detect, recover sim.Duration
+			for _, rec := range rep.Recoveries {
+				detect += rec.DetectionLatency()
+				recover += rec.RecoveryTime()
+			}
+			if n := len(rep.Recoveries); n > 0 {
+				detect /= sim.Duration(n)
+				recover /= sim.Duration(n)
+			}
+			everyLabel := "never"
+			if every > 0 {
+				everyLabel = fmt.Sprintf("%d iters", every)
+			}
+			overhead := 100 * (float64(res.TotalTime) - float64(baseT)) / float64(baseT)
+			t.AddRow(mtbf.String(), everyLabel,
+				fmt.Sprintf("%d", rep.Crashes), fmt.Sprintf("%d", rep.Survivors),
+				detect.String(), recover.String(), res.TotalTime.String(),
+				fmt.Sprintf("%+.1f%%", overhead))
+		}
+	}
+	t.Note("Each crash is detected by deadline expiry on a survivor's wait, the communicator is revoked ULFM-style, and the survivors shrink the world, re-shard the batch, and roll back to the latest snapshot (\"never\" forces a cold restart from initialization). Frequent snapshots bound the replayed span, so overhead falls as the interval shrinks — the Young/Daly tradeoff, with the optimum moving toward shorter intervals as MTBF drops.")
+	t.Note("All runs are bit-deterministic: the same schedule yields identical detection latencies, recovery points, and losses on every run.")
+	return t, nil
+}

@@ -1,0 +1,246 @@
+// Package fault implements a deterministic fault-injection plane for
+// the simulator. A Schedule scripts events at virtual times — rank
+// crashes and hangs, transient link degradation, straggler onset and
+// recovery, data-reader stalls, snapshot-write failures — and a Plane
+// armed on the kernel applies them at exactly those instants. Because
+// the kernel orders events by (virtual time, sequence), a faulted run
+// is bit-for-bit reproducible: the same schedule against the same
+// configuration produces identical detection latencies, recovery
+// points, and losses on every run.
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scaffe/internal/sim"
+)
+
+// Kind classifies an injected event.
+type Kind int
+
+const (
+	// Crash fail-stops a rank: its procs terminate and never speak
+	// MPI again.
+	Crash Kind = iota
+	// Hang wedges a rank. In the simulation it is mechanically a
+	// fail-stop too (the rank stops participating), but it is counted
+	// separately: a hung peer is what deadline-based detection exists
+	// for.
+	Hang
+	// StragglerOn slows a rank's GPU kernels by Factor until a
+	// matching StragglerOff.
+	StragglerOn
+	// StragglerOff restores a straggling rank to full speed.
+	StragglerOff
+	// LinkDegrade multiplies the inter-node wire time of transfers
+	// leaving Node by Factor for a window of For.
+	LinkDegrade
+	// ReaderStall freezes a rank's data reader for For.
+	ReaderStall
+	// SnapshotFail makes snapshot writes fail for a window of For
+	// (or just the next write when For is zero).
+	SnapshotFail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Hang:
+		return "hang"
+	case StragglerOn:
+		return "straggle"
+	case StragglerOff:
+		return "recover"
+	case LinkDegrade:
+		return "degrade"
+	case ReaderStall:
+		return "stall"
+	case SnapshotFail:
+		return "snapfail"
+	}
+	return "unknown"
+}
+
+// Event is one scripted fault.
+type Event struct {
+	// At is the virtual time the event fires.
+	At sim.Time
+	// Kind selects what happens.
+	Kind Kind
+	// Rank is the target rank (Crash, Hang, StragglerOn/Off,
+	// ReaderStall).
+	Rank int
+	// Node is the target host (LinkDegrade).
+	Node int
+	// Factor is the slowdown multiplier (StragglerOn, LinkDegrade).
+	Factor float64
+	// For is the window length (LinkDegrade, ReaderStall,
+	// SnapshotFail).
+	For sim.Duration
+}
+
+// Schedule is an ordered fault script. Events firing at the same
+// instant apply in schedule order.
+type Schedule []Event
+
+// Validate checks the schedule against a world of `ranks` ranks on
+// `nodes` hosts.
+func (s Schedule) Validate(ranks, nodes int) error {
+	for i, ev := range s {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d: negative time %v", i, ev.At)
+		}
+		switch ev.Kind {
+		case Crash, Hang, StragglerOn, StragglerOff, ReaderStall:
+			if ev.Rank < 0 || ev.Rank >= ranks {
+				return fmt.Errorf("fault: event %d: rank %d out of range [0,%d)", i, ev.Rank, ranks)
+			}
+		case LinkDegrade:
+			if ev.Node < 0 || ev.Node >= nodes {
+				return fmt.Errorf("fault: event %d: node %d out of range [0,%d)", i, ev.Node, nodes)
+			}
+		case SnapshotFail:
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(ev.Kind))
+		}
+		switch ev.Kind {
+		case StragglerOn, LinkDegrade:
+			if ev.Factor < 1 {
+				return fmt.Errorf("fault: event %d: %s needs factor >= 1, got %g", i, ev.Kind, ev.Factor)
+			}
+		}
+		switch ev.Kind {
+		case LinkDegrade, ReaderStall:
+			if ev.For <= 0 {
+				return fmt.Errorf("fault: event %d: %s needs a positive window (for=...)", i, ev.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseSchedule parses the textual schedule format, one event per
+// line:
+//
+//	# comments and blank lines are ignored
+//	100ms crash rank=3
+//	120ms hang rank=2
+//	50ms  straggle rank=1 factor=8
+//	80ms  recover rank=1
+//	60ms  degrade node=0 factor=4 for=30ms
+//	10ms  stall rank=2 for=20ms
+//	200ms snapfail for=50ms
+//
+// Times and windows accept s/ms/us/ns suffixes (a bare number is
+// nanoseconds).
+func ParseSchedule(text string) (Schedule, error) {
+	var s Schedule
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("fault: line %d: want `<time> <kind> key=value...`, got %q", ln+1, line)
+		}
+		at, err := parseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("fault: line %d: bad time %q: %v", ln+1, fields[0], err)
+		}
+		ev := Event{At: at, Rank: -1, Node: -1, Factor: 1}
+		switch fields[1] {
+		case "crash":
+			ev.Kind = Crash
+		case "hang":
+			ev.Kind = Hang
+		case "straggle":
+			ev.Kind = StragglerOn
+		case "recover":
+			ev.Kind = StragglerOff
+		case "degrade":
+			ev.Kind = LinkDegrade
+		case "stall":
+			ev.Kind = ReaderStall
+		case "snapfail":
+			ev.Kind = SnapshotFail
+		default:
+			return nil, fmt.Errorf("fault: line %d: unknown event kind %q", ln+1, fields[1])
+		}
+		for _, kv := range fields[2:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: line %d: want key=value, got %q", ln+1, kv)
+			}
+			switch key {
+			case "rank":
+				ev.Rank, err = strconv.Atoi(val)
+			case "node":
+				ev.Node, err = strconv.Atoi(val)
+			case "factor":
+				ev.Factor, err = strconv.ParseFloat(val, 64)
+			case "for":
+				ev.For, err = parseDuration(val)
+			default:
+				return nil, fmt.Errorf("fault: line %d: unknown key %q", ln+1, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad %s value %q: %v", ln+1, key, val, err)
+			}
+		}
+		if needsRank(ev.Kind) && ev.Rank < 0 {
+			return nil, fmt.Errorf("fault: line %d: %s needs rank=N", ln+1, ev.Kind)
+		}
+		if ev.Kind == LinkDegrade && ev.Node < 0 {
+			return nil, fmt.Errorf("fault: line %d: degrade needs node=N", ln+1)
+		}
+		s = append(s, ev)
+	}
+	return s, nil
+}
+
+func needsRank(k Kind) bool {
+	switch k {
+	case Crash, Hang, StragglerOn, StragglerOff, ReaderStall:
+		return true
+	}
+	return false
+}
+
+// LoadSchedule reads and parses a schedule file.
+func LoadSchedule(path string) (Schedule, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: %w", err)
+	}
+	return ParseSchedule(string(raw))
+}
+
+// parseDuration parses "1.5s", "100ms", "20us", "500ns", or a bare
+// nanosecond count.
+func parseDuration(s string) (sim.Duration, error) {
+	mult := sim.Nanosecond
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		mult, num = sim.Millisecond, strings.TrimSuffix(s, "ms")
+	case strings.HasSuffix(s, "us"):
+		mult, num = sim.Microsecond, strings.TrimSuffix(s, "us")
+	case strings.HasSuffix(s, "ns"):
+		mult, num = sim.Nanosecond, strings.TrimSuffix(s, "ns")
+	case strings.HasSuffix(s, "s"):
+		mult, num = sim.Second, strings.TrimSuffix(s, "s")
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, err
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("negative duration")
+	}
+	return sim.Duration(f * float64(mult)), nil
+}

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"scaffe/internal/sim"
+)
+
+func TestParseSchedule(t *testing.T) {
+	text := `
+# comment, then a blank line
+
+5ms crash rank=3
+10ms straggle rank=1 factor=4
+12ms recover rank=1
+20ms degrade node=0 factor=2.5 for=3ms
+30ms stall rank=2 for=1ms
+40ms snapfail for=2ms
+50ms hang rank=0
+`
+	sched, err := ParseSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 7 {
+		t.Fatalf("parsed %d events, want 7", len(sched))
+	}
+	if sched[0].Kind != Crash || sched[0].Rank != 3 || sched[0].At != 5*sim.Time(sim.Millisecond) {
+		t.Errorf("event 0 = %+v", sched[0])
+	}
+	if sched[1].Kind != StragglerOn || sched[1].Factor != 4 {
+		t.Errorf("event 1 = %+v", sched[1])
+	}
+	if sched[3].Kind != LinkDegrade || sched[3].Node != 0 || sched[3].For != 3*sim.Millisecond {
+		t.Errorf("event 3 = %+v", sched[3])
+	}
+	if err := sched.Validate(4, 2); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	cases := []struct{ name, text, want string }{
+		{"bad kind", "1ms explode rank=0", "unknown event"},
+		{"bad time", "abc crash rank=0", "time"},
+		{"missing rank", "1ms crash", "needs rank"},
+		{"bad kv", "1ms crash rank", "key=value"},
+		{"negative dur", "-1ms crash rank=0", "negative"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseSchedule(tc.text); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateRanges(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"rank high", Event{Kind: Crash, Rank: 9}},
+		{"rank negative", Event{Kind: Crash, Rank: -1}},
+		{"node high", Event{Kind: LinkDegrade, Node: 5, Factor: 2, For: sim.Millisecond}},
+		{"factor low", Event{Kind: StragglerOn, Rank: 0, Factor: 0.5}},
+		{"window zero", Event{Kind: LinkDegrade, Node: 0, Factor: 2}},
+	}
+	for _, tc := range cases {
+		if err := (Schedule{tc.ev}).Validate(4, 2); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestTimeoutBackoffCapped(t *testing.T) {
+	pl := NewPlane(sim.New(), 4, 0)
+	if pl.Timeout(0) != DefaultTimeout {
+		t.Errorf("base timeout = %v", pl.Timeout(0))
+	}
+	if pl.Timeout(2) != DefaultTimeout<<2 {
+		t.Errorf("attempt 2 = %v", pl.Timeout(2))
+	}
+	if pl.Timeout(50) != DefaultTimeout<<maxBackoffShift {
+		t.Errorf("cap = %v", pl.Timeout(50))
+	}
+}
+
+func TestLinkFactorWindows(t *testing.T) {
+	k := sim.New()
+	pl := NewPlane(k, 2, 0)
+	pl.Arm(Schedule{
+		{At: 10, Kind: LinkDegrade, Node: 0, Factor: 3, For: 5, Rank: -1},
+		{At: 12, Kind: LinkDegrade, Node: 0, Factor: 2, For: 20, Rank: -1},
+	}, nil)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f := pl.LinkFactor(11, 0, 1); f != 3 {
+		t.Errorf("overlap max = %v, want 3", f)
+	}
+	if f := pl.LinkFactor(20, 0, 1); f != 2 {
+		t.Errorf("second window = %v, want 2", f)
+	}
+	if f := pl.LinkFactor(11, 1, 0); f != 1 {
+		t.Errorf("other node = %v, want 1", f)
+	}
+	if f := pl.LinkFactor(40, 0, 1); f != 1 {
+		t.Errorf("expired = %v, want 1", f)
+	}
+}

@@ -1,0 +1,398 @@
+package fault
+
+import (
+	"fmt"
+
+	"scaffe/internal/sim"
+)
+
+// DefaultTimeout is the base detection deadline: a fault-aware wait
+// that makes no progress for this long consults the plane. It is far
+// above any healthy per-operation latency in the modeled cluster, so
+// fault-free runs never trip it, and small enough that detection
+// latency stays a fraction of an iteration.
+const DefaultTimeout = 10 * sim.Millisecond
+
+// maxBackoffShift caps the exponential deadline backoff at
+// quantum<<maxBackoffShift, so transient slowness (stragglers, link
+// flaps) is ridden out with a bounded number of retries per window.
+const maxBackoffShift = 4
+
+// Applier carries out the physical side of injected events on the
+// training engine: killing a rank's procs and slowing its device. The
+// plane keeps the bookkeeping; the engine owns the objects.
+type Applier interface {
+	// KillRank fail-stops a rank (Crash and Hang events).
+	KillRank(rank int, kind Kind)
+	// SetCompute sets a rank's GPU slowdown factor (1 = full speed).
+	SetCompute(rank int, factor float64)
+}
+
+// Recovery describes one detected failure and the shrink that
+// absorbed it.
+type Recovery struct {
+	// Rank is the rank that failed.
+	Rank int
+	// Kind is Crash or Hang.
+	Kind Kind
+	// FailedAt is the injection time.
+	FailedAt sim.Time
+	// DetectedAt is when a survivor's deadline expired and revoked
+	// the communicator.
+	DetectedAt sim.Time
+	// ResumedAt is when the shrunken world released survivors back
+	// into training.
+	ResumedAt sim.Time
+	// RestartIter is the iteration training resumed from.
+	RestartIter int
+	// Survivors is the world size after the shrink.
+	Survivors int
+	// RolledBack reports whether survivors restored state from a
+	// snapshot (or re-initialized) rather than continuing in place.
+	RolledBack bool
+}
+
+// DetectionLatency is the injection-to-revocation delay.
+func (r Recovery) DetectionLatency() sim.Duration { return r.DetectedAt - r.FailedAt }
+
+// RecoveryTime is the revocation-to-resume delay (shrink + restore).
+func (r Recovery) RecoveryTime() sim.Duration { return r.ResumedAt - r.DetectedAt }
+
+// Report summarizes a faulted run for Result.
+type Report struct {
+	// Injected counts all scheduled events that fired.
+	Injected int
+	// Crashes and Hangs count fail-stop injections.
+	Crashes, Hangs int
+	// Retries counts deadline expiries that were ridden out with
+	// backoff (no failed rank: transient slowness, not a fault).
+	Retries int
+	// SnapshotFailures counts snapshot writes suppressed by
+	// SnapshotFail windows.
+	SnapshotFailures int
+	// Survivors is the final world size.
+	Survivors int
+	// Recoveries lists every shrink, in order.
+	Recoveries []Recovery
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("injected=%d crashes=%d hangs=%d recoveries=%d retries=%d snapshot-failures=%d survivors=%d",
+		r.Injected, r.Crashes, r.Hangs, len(r.Recoveries), r.Retries, r.SnapshotFailures, r.Survivors)
+}
+
+// recoveryRound is one leaderless all-survivor rendezvous: every
+// surviving rank that observes the revocation enters, and the round
+// releases — running the engine's rebuild hook first — once every
+// rank currently alive has arrived.
+type recoveryRound struct {
+	arrived []bool
+	count   int
+	done    *sim.Completion
+}
+
+// linkWindow is one active LinkDegrade interval.
+type linkWindow struct {
+	node        int
+	factor      float64
+	from, until sim.Time
+}
+
+// Plane is the armed fault-injection and failure-detection state of
+// one run. All methods run under the kernel's cooperative scheduling,
+// so there is no locking.
+type Plane struct {
+	k       *sim.Kernel
+	quantum sim.Duration
+	total   int
+	applier Applier
+	rebuild func() int
+
+	// excluded ranks have been shrunk out of the world; failed ranks
+	// are dead but not yet absorbed by a shrink; departed ranks
+	// finished (or died) and will never join a recovery rendezvous.
+	excluded []bool
+	failed   []bool
+	departed []bool
+	failRec  []Recovery // partial record per failed rank
+	revoked  bool
+
+	round *recoveryRound
+
+	stallUntil    []sim.Time
+	links         []linkWindow
+	snapFailUntil sim.Time
+	snapFailOnce  bool
+
+	report Report
+}
+
+// NewPlane returns an un-armed plane for a world of `ranks` ranks.
+// A zero quantum uses DefaultTimeout.
+func NewPlane(k *sim.Kernel, ranks int, quantum sim.Duration) *Plane {
+	if quantum <= 0 {
+		quantum = DefaultTimeout
+	}
+	return &Plane{
+		k:          k,
+		quantum:    quantum,
+		total:      ranks,
+		excluded:   make([]bool, ranks),
+		failed:     make([]bool, ranks),
+		departed:   make([]bool, ranks),
+		failRec:    make([]Recovery, ranks),
+		stallUntil: make([]sim.Time, ranks),
+	}
+}
+
+// Arm schedules every event of the script on the kernel. Call it
+// after the world's ranks are spawned and before the kernel runs.
+func (pl *Plane) Arm(sched Schedule, ap Applier) {
+	pl.applier = ap
+	pl.report.Survivors = pl.total
+	for _, ev := range sched {
+		ev := ev
+		pl.k.At(ev.At, func() { pl.apply(ev) })
+	}
+}
+
+// OnRebuild registers the engine's shrink-and-restore hook. It runs
+// exactly once per recovery round, at release time, with every
+// surviving rank parked in EnterRecovery; it returns the iteration
+// training resumes from.
+func (pl *Plane) OnRebuild(fn func() int) { pl.rebuild = fn }
+
+// apply executes one scheduled event in kernel context.
+func (pl *Plane) apply(ev Event) {
+	now := pl.k.Now()
+	switch ev.Kind {
+	case Crash, Hang:
+		if !pl.Alive(ev.Rank) {
+			return // already dead; nothing left to kill
+		}
+		pl.report.Injected++
+		if ev.Kind == Crash {
+			pl.report.Crashes++
+		} else {
+			pl.report.Hangs++
+		}
+		pl.failed[ev.Rank] = true
+		pl.failRec[ev.Rank] = Recovery{Rank: ev.Rank, Kind: ev.Kind, FailedAt: now}
+		pl.applier.KillRank(ev.Rank, ev.Kind)
+		// If the dead rank had already reached a recovery rendezvous,
+		// un-count it and re-check: the survivors must not wait for a
+		// corpse.
+		if pl.round != nil && pl.round.arrived[ev.Rank] {
+			pl.round.arrived[ev.Rank] = false
+			pl.round.count--
+		}
+		pl.checkRelease()
+	case StragglerOn:
+		pl.report.Injected++
+		pl.applier.SetCompute(ev.Rank, ev.Factor)
+	case StragglerOff:
+		pl.report.Injected++
+		pl.applier.SetCompute(ev.Rank, 1)
+	case LinkDegrade:
+		pl.report.Injected++
+		pl.links = append(pl.links, linkWindow{node: ev.Node, factor: ev.Factor, from: now, until: now + ev.For})
+	case ReaderStall:
+		pl.report.Injected++
+		if until := now + ev.For; until > pl.stallUntil[ev.Rank] {
+			pl.stallUntil[ev.Rank] = until
+		}
+	case SnapshotFail:
+		pl.report.Injected++
+		if ev.For <= 0 {
+			pl.snapFailOnce = true
+		} else if until := now + ev.For; until > pl.snapFailUntil {
+			pl.snapFailUntil = until
+		}
+	}
+}
+
+// Timeout returns the detection deadline for the given retry attempt:
+// the base quantum with capped exponential backoff, so healthy-but-
+// slow operations (stragglers, degraded links) are ridden out with a
+// bounded number of retries.
+func (pl *Plane) Timeout(attempt int) sim.Duration {
+	if attempt > maxBackoffShift {
+		attempt = maxBackoffShift
+	}
+	return pl.quantum << attempt
+}
+
+// Revoked reports whether the communicator is revoked: a failure has
+// been detected and survivors are converging on recovery.
+func (pl *Plane) Revoked() bool { return pl.revoked }
+
+// OnTimeout is called by a rank whose wait deadline expired without
+// progress. It returns true if the communicator is (now) revoked —
+// the caller must abandon the operation and enter recovery — and
+// false if the stall has no dead rank behind it, in which case the
+// caller retries with backoff.
+func (pl *Plane) OnTimeout(rank int, now sim.Time) bool {
+	if pl.revoked {
+		return true
+	}
+	for i := range pl.failed {
+		if pl.failed[i] {
+			pl.revoked = true
+			// Stamp detection on every pending failure: this one
+			// deadline discovered them all.
+			for j := range pl.failed {
+				if pl.failed[j] && pl.failRec[j].DetectedAt == 0 {
+					pl.failRec[j].DetectedAt = now
+				}
+			}
+			return true
+		}
+	}
+	pl.report.Retries++
+	return false
+}
+
+// EnterRecovery parks rank's main proc until every surviving rank has
+// arrived and the shrink/rebuild has run. Ranks call it after
+// observing a revocation.
+func (pl *Plane) EnterRecovery(rank int, p *sim.Proc) {
+	if pl.round == nil {
+		pl.round = &recoveryRound{arrived: make([]bool, pl.total), done: pl.k.NewCompletion()}
+	}
+	rd := pl.round
+	if !rd.arrived[rank] {
+		rd.arrived[rank] = true
+		rd.count++
+	}
+	pl.checkRelease()
+	p.Wait(rd.done) // returns immediately if checkRelease fired it
+}
+
+// checkRelease releases the current recovery round once every alive
+// rank has arrived: it commits the shrink (failed → excluded, clears
+// the revocation), runs the engine's rebuild hook, stamps the new
+// recovery records, and wakes the survivors. Safe to call any time;
+// it is a no-op until the round is complete.
+func (pl *Plane) checkRelease() {
+	rd := pl.round
+	if rd == nil || rd.count == 0 || rd.count != pl.participants() {
+		return
+	}
+	pl.round = nil
+	now := pl.k.Now()
+	first := len(pl.report.Recoveries)
+	for i := range pl.failed {
+		if !pl.failed[i] {
+			continue
+		}
+		pl.failed[i] = false
+		pl.excluded[i] = true
+		rec := pl.failRec[i]
+		if rec.DetectedAt == 0 {
+			rec.DetectedAt = now
+		}
+		rec.ResumedAt = now
+		pl.report.Recoveries = append(pl.report.Recoveries, rec)
+	}
+	pl.revoked = false
+	pl.report.Survivors = pl.AliveCount()
+	restart := 0
+	if pl.rebuild != nil {
+		restart = pl.rebuild()
+	}
+	for i := first; i < len(pl.report.Recoveries); i++ {
+		pl.report.Recoveries[i].RestartIter = restart
+		pl.report.Recoveries[i].Survivors = pl.report.Survivors
+	}
+	rd.done.Fire()
+}
+
+// NoteRollback marks the latest batch of recovery records as having
+// restored state from a snapshot rather than continuing in place.
+func (pl *Plane) NoteRollback(n int) {
+	for i := len(pl.report.Recoveries) - n; i < len(pl.report.Recoveries); i++ {
+		if i >= 0 {
+			pl.report.Recoveries[i].RolledBack = true
+		}
+	}
+}
+
+// Depart marks a rank as finished with training (normally or by
+// dying): recovery rendezvous must not wait for it. Re-checks the
+// current round, since the departure may be what completes it.
+func (pl *Plane) Depart(rank int) {
+	pl.departed[rank] = true
+	pl.checkRelease()
+}
+
+// participants counts the ranks a recovery rendezvous must gather:
+// alive and still training.
+func (pl *Plane) participants() int {
+	n := 0
+	for i := 0; i < pl.total; i++ {
+		if pl.Alive(i) && !pl.departed[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Alive reports whether a rank is neither failed nor excluded.
+func (pl *Plane) Alive(rank int) bool { return !pl.failed[rank] && !pl.excluded[rank] }
+
+// AliveCount returns the number of alive ranks.
+func (pl *Plane) AliveCount() int {
+	n := 0
+	for i := 0; i < pl.total; i++ {
+		if pl.Alive(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// AliveRanks returns the alive ranks in ascending order.
+func (pl *Plane) AliveRanks() []int {
+	var out []int
+	for i := 0; i < pl.total; i++ {
+		if pl.Alive(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// StallUntil returns the time until which rank's reader is frozen
+// (zero / the past when it is not).
+func (pl *Plane) StallUntil(rank int) sim.Time { return pl.stallUntil[rank] }
+
+// LinkFactor returns the wire-time multiplier for an inter-node
+// transfer leaving srcNode at virtual time `at` (1 = healthy). It has
+// the signature of topology's link-fault hook.
+func (pl *Plane) LinkFactor(at sim.Time, srcNode, dstNode int) float64 {
+	f := 1.0
+	for _, w := range pl.links {
+		if w.node == srcNode && at >= w.from && at < w.until && w.factor > f {
+			f = w.factor
+		}
+	}
+	return f
+}
+
+// SnapshotFailing reports whether a snapshot write at `now` fails,
+// counting it in the report when it does.
+func (pl *Plane) SnapshotFailing(now sim.Time) bool {
+	if pl.snapFailOnce {
+		pl.snapFailOnce = false
+		pl.report.SnapshotFailures++
+		return true
+	}
+	if now < pl.snapFailUntil {
+		pl.report.SnapshotFailures++
+		return true
+	}
+	return false
+}
+
+// Report returns the run's fault summary.
+func (pl *Plane) Report() *Report { return &pl.report }

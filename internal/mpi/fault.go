@@ -1,0 +1,87 @@
+package mpi
+
+import "scaffe/internal/sim"
+
+// ULFM-style fault tolerance: when the world carries a fault plane
+// (World.Fault non-nil), every blocking wait runs in deadline slices.
+// A deadline that expires without progress consults the plane — if a
+// rank is dead the communicator is revoked and the wait panics with
+// Revoked{}, which the engine catches to enter recovery; otherwise
+// the wait retries with exponential backoff, riding out transient
+// slowness (stragglers, degraded links). Without a plane every code
+// path below is byte-for-byte the pre-fault behavior.
+
+// Revoked is the panic value thrown by fault-aware MPI operations
+// once the communicator has been revoked. It unwinds the current
+// iteration; the engine recovers it and rendezvouses the survivors.
+type Revoked struct{}
+
+func (Revoked) Error() string { return "mpi: communicator revoked" }
+
+// IsRevoked reports whether a recovered panic value is the
+// communicator-revocation signal.
+func IsRevoked(rec any) bool {
+	_, ok := rec.(Revoked)
+	return ok
+}
+
+// ftCheck aborts the calling operation immediately when the
+// communicator is already revoked, so a rank cannot start new traffic
+// against a dead world.
+func (r *Rank) ftCheck() {
+	if pl := r.W.Fault; pl != nil && pl.Revoked() {
+		panic(Revoked{})
+	}
+}
+
+// waitFT waits for c on proc p in deadline slices (see the package
+// comment above). p is the calling proc — the rank's main thread or
+// one of its helper threads.
+func (r *Rank) waitFT(p *sim.Proc, c *sim.Completion) {
+	pl := r.W.Fault
+	if pl.Revoked() {
+		panic(Revoked{})
+	}
+	for attempt := 0; !p.WaitTimeout(c, pl.Timeout(attempt)); attempt++ {
+		if pl.OnTimeout(r.ID, r.Now()) {
+			panic(Revoked{})
+		}
+	}
+}
+
+// WaitDep blocks p until c fires: a plain wait without a fault plane,
+// a deadline-sliced one with it. The iteration scheduler uses it for
+// dependency edges so helper lanes also observe revocations.
+func (r *Rank) WaitDep(p *sim.Proc, c *sim.Completion) {
+	if r.W.Fault == nil {
+		p.Wait(c)
+		return
+	}
+	r.waitFT(p, c)
+}
+
+// KillThreads kills the rank's live helper threads (stale lanes of an
+// abandoned iteration during recovery).
+func (r *Rank) KillThreads() {
+	for _, t := range r.threads {
+		t.Kill()
+	}
+	r.threads = r.threads[:0]
+}
+
+// KillAll fail-stops the rank: helper threads first, then the main
+// proc. The fault plane's crash applier calls this.
+func (r *Rank) KillAll() {
+	r.KillThreads()
+	if r.Proc != nil {
+		r.Proc.Kill()
+	}
+}
+
+// ShrinkComm builds a fresh communicator over the given ascending
+// world ranks — MPI_Comm_shrink over the survivors. The new comm has
+// its own id, so stale point-to-point and broadcast state of the
+// revoked comm can never match against it.
+func (w *World) ShrinkComm(alive []int) *Comm {
+	return w.newComm(append([]int(nil), alive...))
+}

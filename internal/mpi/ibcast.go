@@ -45,6 +45,7 @@ type bcastOp struct {
 // this rank's buffer is ready for reuse (root: all its tree sends
 // done; non-root: data arrived).
 func (r *Rank) Ibcast(c *Comm, root int, buf *gpu.Buffer, mode topology.TransferMode) *Request {
+	r.ftCheck()
 	me := c.Rank(r)
 	key := bcastKey{comm: c.id, seq: c.bcastSeq[me]}
 	c.bcastSeq[me]++

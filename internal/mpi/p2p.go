@@ -39,7 +39,9 @@ type Request struct {
 }
 
 // Wait blocks the rank until the request completes. For deferred
-// (CPU-progressed) requests this is where all the work happens.
+// (CPU-progressed) requests this is where all the work happens. With
+// a fault plane armed the wait is deadline-sliced and may panic with
+// Revoked{} if a rank failure is detected (see fault.go).
 func (r *Rank) Wait(req *Request) {
 	if req.deferred != nil {
 		fn := req.deferred
@@ -48,7 +50,11 @@ func (r *Rank) Wait(req *Request) {
 		req.Done.Fire()
 		return
 	}
-	r.Proc.Wait(req.Done)
+	if r.W.Fault == nil {
+		r.Proc.Wait(req.Done)
+		return
+	}
+	r.waitFT(r.Proc, req.Done)
 }
 
 // WaitAll waits for every request in order.
@@ -85,6 +91,7 @@ func (r *Rank) NewDeferredRequest(fn func()) *Request {
 // Isend starts a non-blocking send of buf to group rank `to` of comm c
 // with the given tag.
 func (r *Rank) Isend(c *Comm, to, tag int, buf *gpu.Buffer, mode topology.TransferMode) *Request {
+	r.ftCheck()
 	dst := c.rankAt(to)
 	if dst == r {
 		panic(fmt.Sprintf("mpi: rank %d sending to itself (comm %d tag %d)", r.ID, c.id, tag))
@@ -111,6 +118,7 @@ func (r *Rank) Isend(c *Comm, to, tag int, buf *gpu.Buffer, mode topology.Transf
 // Irecv posts a non-blocking receive into buf from group rank `from`
 // of comm c with the given tag.
 func (r *Rank) Irecv(c *Comm, from, tag int, buf *gpu.Buffer) *Request {
+	r.ftCheck()
 	src := c.rankAt(from)
 	req := &Request{Done: r.W.K.NewCompletion(), buf: buf}
 	key := matchKey{comm: c.id, src: src.ID, tag: tag}

@@ -16,6 +16,7 @@ package mpi
 import (
 	"fmt"
 
+	"scaffe/internal/fault"
 	"scaffe/internal/gpu"
 	"scaffe/internal/sim"
 	"scaffe/internal/topology"
@@ -26,6 +27,11 @@ type World struct {
 	K       *sim.Kernel
 	Cluster *topology.Cluster
 	Ranks   []*Rank
+
+	// Fault, when non-nil, arms failure detection: every blocking
+	// wait becomes deadline-sliced and can revoke the communicator
+	// (see fault.go). Nil runs the exact fault-free code paths.
+	Fault *fault.Plane
 
 	nextCommID int
 	bcastOps   map[bcastKey]*bcastOp
@@ -83,6 +89,10 @@ type Rank struct {
 
 	posted     map[matchKey][]*Request
 	unexpected map[matchKey][]*pendingSend
+
+	// threads tracks live helper procs so a crash (or recovery) can
+	// fail-stop the whole rank, not just its main thread.
+	threads []*sim.Proc
 }
 
 // Now returns the current virtual time.
@@ -95,5 +105,15 @@ func (r *Rank) Sleep(d sim.Duration) { r.Proc.Sleep(d) }
 // process (the helper thread of SC-OBR). The thread shares the rank's
 // state and synchronizes with the main thread via sim.Flag.
 func (r *Rank) SpawnThread(name string, fn func(p *sim.Proc)) *sim.Proc {
-	return r.W.K.Spawn(fmt.Sprintf("rank%d.%s", r.ID, name), fn)
+	p := r.W.K.Spawn(fmt.Sprintf("rank%d.%s", r.ID, name), fn)
+	// Prune finished threads so the tracking list stays bounded over
+	// many iterations.
+	live := r.threads[:0]
+	for _, t := range r.threads {
+		if !t.Finished() {
+			live = append(live, t)
+		}
+	}
+	r.threads = append(live, p)
+	return p
 }

@@ -1,0 +1,51 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the prototxt parser with arbitrary text. The
+// invariants: never panic, and on success every key in Keys() is
+// retrievable, non-empty, and consistent between Has/Strings/String.
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("net: \"lenet\"\nmax_iter: 100\nbase_lr: 0.01\n")
+	f.Add("# comment only\n\n")
+	f.Add("train_param {\n  design: \"scobr\"\n  reduce {\n    alg: \"hr\"\n  }\n}\n")
+	f.Add("key: \"unterminated\nbad: }")
+	f.Add("a: 1\na: 2\na: 3\n")
+	f.Add("block {\nkey: v")
+	f.Add("momentum: 0.9 # trailing comment\nsnapshot_prefix: \"/tmp/x\"\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := Parse(text)
+		if err != nil {
+			return
+		}
+		for _, key := range d.Keys() {
+			if key == "" {
+				t.Fatal("Keys() returned an empty key")
+			}
+			if !d.Has(key) {
+				t.Fatalf("key %q listed but Has() false", key)
+			}
+			vals := d.Strings(key)
+			if len(vals) == 0 {
+				t.Fatalf("key %q listed but has no values", key)
+			}
+			if got := d.String(key, "\x00default"); got != vals[len(vals)-1] {
+				t.Fatalf("String(%q) = %q, want last value %q", key, got, vals[len(vals)-1])
+			}
+		}
+		// A parse of the text with extra blank lines and comments must
+		// agree: layout noise cannot change the field set.
+		noisy := "# injected\n\n" + strings.ReplaceAll(text, "\n", "\n\n")
+		d2, err := Parse(noisy)
+		if err != nil {
+			t.Fatalf("reparse with layout noise failed: %v", err)
+		}
+		if len(d2.Keys()) != len(d.Keys()) {
+			t.Fatalf("layout noise changed key count: %d vs %d", len(d2.Keys()), len(d.Keys()))
+		}
+	})
+}

@@ -219,6 +219,14 @@ func (g *Graph) Execute(tracer Tracer) {
 		}
 		joins = append(joins, nodes[len(nodes)-1].done)
 		g.r.SpawnThread(g.laneNames[li], func(p *sim.Proc) {
+			// A revoked communicator unwinds helper lanes quietly:
+			// recovery belongs to the main lane, which observes the
+			// same revocation through its own waits.
+			defer func() {
+				if rec := recover(); rec != nil && !mpi.IsRevoked(rec) {
+					panic(rec)
+				}
+			}()
 			for _, n := range nodes {
 				g.runNode(n, p, tracer)
 			}
@@ -230,7 +238,7 @@ func (g *Graph) Execute(tracer Tracer) {
 	// Safety net: a well-formed graph orders lane 0 after its helpers
 	// (SC-OBR's join node), making these waits free.
 	for _, j := range joins {
-		g.r.Proc.Wait(j)
+		g.r.WaitDep(g.r.Proc, j)
 	}
 }
 
@@ -239,7 +247,7 @@ func (g *Graph) Execute(tracer Tracer) {
 func (g *Graph) runNode(n *Node, p *sim.Proc, tracer Tracer) {
 	start := p.Now()
 	for _, d := range n.deps {
-		p.Wait(d.done)
+		g.r.WaitDep(p, d.done)
 	}
 	for _, s := range n.gates {
 		for _, req := range s.reqs {

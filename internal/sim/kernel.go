@@ -165,8 +165,10 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 	go func() {
 		defer func() {
 			// A panicking proc fails the whole simulation rather than
-			// the process: Run surfaces it as an error.
-			if rec := recover(); rec != nil && k.failure == nil {
+			// the process: Run surfaces it as an error. The kill
+			// sentinel is the exception — a killed proc is a normal
+			// (if abrupt) exit.
+			if rec := recover(); rec != nil && !IsKilled(rec) && k.failure == nil {
 				k.failure = fmt.Errorf("sim: proc %q panicked at %v: %v\n%s", p.name, k.now, rec, debug.Stack())
 			}
 			p.finished = true
@@ -174,6 +176,9 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 			p.yield <- struct{}{} // hand the baton back for the last time
 		}()
 		<-p.wake // wait for the kernel to hand us the baton
+		if p.killed {
+			panic(procKilled{})
+		}
 		fn(p)
 	}()
 	k.At(k.now, func() { k.resume(p) })
@@ -193,4 +198,14 @@ func (k *Kernel) resume(p *Proc) {
 // wakeAt schedules p to be resumed at time t.
 func (k *Kernel) wakeAt(p *Proc, t Time) {
 	k.At(t, func() { k.resume(p) })
+}
+
+// resumeIf resumes p only if it is still parked on the guarded wait
+// armed with seq. Stale wake events — a completion that fired after
+// its waiter timed out, or a timeout that lost the race with Fire —
+// dissolve here instead of double-resuming the proc.
+func (k *Kernel) resumeIf(p *Proc, seq uint64) {
+	if !p.finished && p.waitArmed && p.waitSeq == seq {
+		k.resume(p)
+	}
 }

@@ -9,10 +9,45 @@ type Proc struct {
 	wake     chan struct{}
 	yield    chan struct{}
 	finished bool
+	killed   bool
+
+	// waitSeq/waitArmed guard completion wake-ups: every Wait arms a
+	// fresh sequence number, and a wake event only delivers if the proc
+	// is still parked on that same wait. This lets a completion and a
+	// timeout race for the same parked proc without ever resuming it
+	// twice (a double resume would block the kernel goroutine).
+	waitSeq   uint64
+	waitArmed bool
+}
+
+// procKilled is the panic value a killed proc unwinds with; Spawn's
+// recovery treats it as a normal exit.
+type procKilled struct{}
+
+// IsKilled reports whether a recovered panic value is the proc-kill
+// sentinel, for intermediate recover()s that must not swallow it.
+func IsKilled(rec any) bool {
+	_, ok := rec.(procKilled)
+	return ok
 }
 
 // Name returns the name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
+
+// Finished reports whether the proc has returned (or been killed).
+func (p *Proc) Finished() bool { return p.finished }
+
+// Kill terminates the proc at the current virtual time: its next
+// resumption panics with a sentinel that the kernel treats as a normal
+// exit. This is the fault plane's rank-crash primitive. Killing a
+// finished or already-killed proc is a no-op.
+func (p *Proc) Kill() {
+	if p.finished || p.killed {
+		return
+	}
+	p.killed = true
+	p.k.At(p.k.now, func() { p.k.resume(p) })
+}
 
 // Kernel returns the owning kernel.
 func (p *Proc) Kernel() *Kernel { return p.k }
@@ -21,10 +56,21 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 func (p *Proc) Now() Time { return p.k.now }
 
 // park yields control to the kernel and blocks until some event
-// resumes this proc.
+// resumes this proc. A killed proc unwinds here instead of returning.
 func (p *Proc) park() {
 	p.yield <- struct{}{}
 	<-p.wake
+	if p.killed {
+		panic(procKilled{})
+	}
+}
+
+// armWait returns a fresh wait sequence number and marks the proc as
+// parked on a guarded wait (see Proc.waitSeq).
+func (p *Proc) armWait() uint64 {
+	p.waitSeq++
+	p.waitArmed = true
+	return p.waitSeq
 }
 
 // Sleep advances this proc's virtual time by d, allowing other events
@@ -58,8 +104,26 @@ func (p *Proc) Wait(c *Completion) {
 	if c.fired {
 		return
 	}
-	c.waiters = append(c.waiters, p)
+	c.waiters = append(c.waiters, waiter{p, p.armWait()})
 	p.park()
+	p.waitArmed = false
+}
+
+// WaitTimeout blocks until c fires or d virtual time elapses,
+// whichever comes first, and reports whether c has fired. It is the
+// primitive under fault-aware MPI waits: a deadline that expires
+// without progress lets the caller consult the fault plane instead of
+// blocking forever on a dead peer.
+func (p *Proc) WaitTimeout(c *Completion, d Duration) bool {
+	if c.fired {
+		return true
+	}
+	seq := p.armWait()
+	c.waiters = append(c.waiters, waiter{p, seq})
+	p.k.At(p.k.now+d, func() { p.k.resumeIf(p, seq) })
+	p.park()
+	p.waitArmed = false
+	return c.fired
 }
 
 // WaitAll blocks until every completion in cs has fired.

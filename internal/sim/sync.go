@@ -1,5 +1,13 @@
 package sim
 
+// waiter records a proc parked on a completion together with the wait
+// sequence it armed, so the wake-up can verify the proc is still
+// parked on that same wait (it may have timed out and moved on).
+type waiter struct {
+	p   *Proc
+	seq uint64
+}
+
 // Completion is a one-shot event that procs can wait on. It is created
 // un-fired; Fire releases all current and future waiters. Completions
 // are the simulation analogue of a chan struct{} that is closed once.
@@ -7,7 +15,7 @@ type Completion struct {
 	k       *Kernel
 	fired   bool
 	firedAt Time
-	waiters []*Proc
+	waiters []waiter
 	cbs     []func()
 }
 
@@ -30,8 +38,9 @@ func (c *Completion) Fire() {
 	}
 	c.fired = true
 	c.firedAt = c.k.now
-	for _, p := range c.waiters {
-		c.k.wakeAt(p, c.k.now)
+	for _, w := range c.waiters {
+		w := w
+		c.k.At(c.k.now, func() { c.k.resumeIf(w.p, w.seq) })
 	}
 	c.waiters = nil
 	for _, fn := range c.cbs {
@@ -144,18 +153,26 @@ func (q *Queue) Get(p *Proc) any {
 }
 
 func (q *Queue) wakeOneGetter() {
-	if len(q.getters) > 0 {
+	// Killed procs leave stale entries behind; skip them so a real
+	// waiter is not starved of its wake-up.
+	for len(q.getters) > 0 {
 		p := q.getters[0]
 		q.getters = q.getters[1:]
-		q.k.wakeAt(p, q.k.now)
+		if !p.finished {
+			q.k.wakeAt(p, q.k.now)
+			return
+		}
 	}
 }
 
 func (q *Queue) wakeOnePutter() {
-	if len(q.putters) > 0 {
+	for len(q.putters) > 0 {
 		p := q.putters[0]
 		q.putters = q.putters[1:]
-		q.k.wakeAt(p, q.k.now)
+		if !p.finished {
+			q.k.wakeAt(p, q.k.now)
+			return
+		}
 	}
 }
 
@@ -227,12 +244,16 @@ func (s *Semaphore) Acquire(p *Proc) {
 	s.permits--
 }
 
-// Release returns one permit and wakes a waiter if any.
+// Release returns one permit and wakes a waiter if any (skipping
+// waiters that have since been killed).
 func (s *Semaphore) Release() {
 	s.permits++
-	if len(s.waiters) > 0 {
+	for len(s.waiters) > 0 {
 		p := s.waiters[0]
 		s.waiters = s.waiters[1:]
-		s.k.wakeAt(p, s.k.now)
+		if !p.finished {
+			s.k.wakeAt(p, s.k.now)
+			return
+		}
 	}
 }

@@ -82,15 +82,7 @@ func New(policy LRPolicy, momentum, weightDecay float64) *SGD {
 // training, scale is 1/numSolvers so that summed per-solver mean
 // gradients become the global mean (Caffe's multi-GPU normalization).
 func (s *SGD) Step(net *layers.Net, iter int, scale float32) {
-	if s.history == nil {
-		for _, l := range net.Layers {
-			var hs []*tensor.Tensor
-			for _, p := range l.Params() {
-				hs = append(hs, tensor.New(p.Dims...))
-			}
-			s.history = append(s.history, hs)
-		}
-	}
+	s.ensureHistory(net)
 	lr := float32(s.Policy.LR(iter))
 	mu := float32(s.Momentum)
 	wd := float32(s.WeightDecay)
@@ -109,6 +101,59 @@ func (s *SGD) Step(net *layers.Net, iter int, scale float32) {
 		}
 	}
 }
+
+// ensureHistory lazily allocates the momentum buffers in net layer
+// order (the same order as layers.Net.PackParams, so the packed forms
+// below line up with packed parameter vectors).
+func (s *SGD) ensureHistory(net *layers.Net) {
+	if s.history != nil {
+		return
+	}
+	for _, l := range net.Layers {
+		var hs []*tensor.Tensor
+		for _, p := range l.Params() {
+			hs = append(hs, tensor.New(p.Dims...))
+		}
+		s.history = append(s.history, hs)
+	}
+}
+
+// PackHistory appends the momentum buffers to dst[:0] in PackParams
+// order and returns the result. A solver that has never stepped packs
+// zeros (cold momentum).
+func (s *SGD) PackHistory(net *layers.Net, dst []float32) []float32 {
+	s.ensureHistory(net)
+	dst = dst[:0]
+	for li := range net.Layers {
+		for _, v := range s.history[li] {
+			dst = append(dst, v.Data...)
+		}
+	}
+	return dst
+}
+
+// LoadHistory restores the momentum buffers from a vector packed by
+// PackHistory; src must match the net's parameter count exactly.
+func (s *SGD) LoadHistory(net *layers.Net, src []float32) {
+	s.ensureHistory(net)
+	off := 0
+	for li := range net.Layers {
+		for _, v := range s.history[li] {
+			if off+len(v.Data) > len(src) {
+				panic(fmt.Sprintf("solver: history vector too short: %d floats", len(src)))
+			}
+			copy(v.Data, src[off:off+len(v.Data)])
+			off += len(v.Data)
+		}
+	}
+	if off != len(src) {
+		panic(fmt.Sprintf("solver: history vector has %d trailing floats", len(src)-off))
+	}
+}
+
+// Reset drops the momentum state (a cold restart from initial
+// parameters).
+func (s *SGD) Reset() { s.history = nil }
 
 // UpdateFLOPs returns the arithmetic cost of one update over n
 // parameters (used by the timing engine for the ApplyUpdate phase).

@@ -166,6 +166,30 @@ type Cluster struct {
 	Nodes   []*Node
 	perNode int
 	name    string
+
+	// linkFault, when set, returns a duration multiplier (>= 1) for
+	// inter-node transfers leaving srcNode at virtual time `at` — the
+	// fault plane's transient link-degradation hook. Nil means every
+	// link is healthy.
+	linkFault func(at sim.Time, srcNode, dstNode int) float64
+}
+
+// SetLinkFault installs the inter-node link-degradation hook.
+func (c *Cluster) SetLinkFault(f func(at sim.Time, srcNode, dstNode int) float64) {
+	c.linkFault = f
+}
+
+// scaleWire stretches an inter-node transfer duration by the link
+// fault factor in effect at `at`; with no hook (or factor 1) the
+// duration is returned untouched.
+func (c *Cluster) scaleWire(at sim.Time, srcNode, dstNode int, d sim.Duration) sim.Duration {
+	if c.linkFault == nil {
+		return d
+	}
+	if f := c.linkFault(at, srcNode, dstNode); f > 1 {
+		return sim.Duration(float64(d) * f)
+	}
+	return d
 }
 
 // New builds a cluster of `nodes` hosts with `gpusPerNode` CUDA

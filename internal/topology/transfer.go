@@ -113,10 +113,11 @@ func (c *Cluster) interNode(at sim.Time, from, to DeviceID, bytes int64, mode Tr
 	p := &c.P
 	src, dst := c.Nodes[from.Node], c.Nodes[to.Node]
 	netLat := p.IBLat
+	wire := func(d sim.Duration) sim.Duration { return c.scaleWire(at, from.Node, to.Node, d) }
 
 	switch mode {
 	case ModeHost:
-		return reserveAll(at, netLat+bwTime(bytes, p.IBBW), src.HCA.Out, dst.HCA.In)
+		return reserveAll(at, wire(netLat+bwTime(bytes, p.IBBW)), src.HCA.Out, dst.HCA.In)
 
 	case ModeGDR:
 		// Cut-through: GPU->HCA peer read, wire, HCA->GPU write. The
@@ -124,7 +125,7 @@ func (c *Cluster) interNode(at sim.Time, from, to DeviceID, bytes int64, mode Tr
 		// PCIe hop each side plus the wire, minus the GDR setup
 		// saving.
 		bw := min64f(p.GDRReadBW, p.IBBW)
-		d := p.PCIeLat + netLat + p.PCIeLat - p.GDRLat + bwTime(bytes, bw)
+		d := wire(p.PCIeLat + netLat + p.PCIeLat - p.GDRLat + bwTime(bytes, bw))
 		links := []*sim.Resource{src.HCA.Out, dst.HCA.In}
 		if !from.IsHost() {
 			links = append(links, src.PCIe[from.Local].Out)
@@ -139,7 +140,7 @@ func (c *Cluster) interNode(at sim.Time, from, to DeviceID, bytes int64, mode Tr
 		// the transfer streams at the bottleneck bandwidth.
 		bw := min64f(p.PCIeBW, min64f(p.IBBW, p.HostMemBW))
 		fill := 2 * bwTime(p.PipelineChunk, bw)
-		d := p.PCIeLat + netLat + p.PCIeLat + fill + bwTime(bytes, bw)
+		d := wire(p.PCIeLat + netLat + p.PCIeLat + fill + bwTime(bytes, bw))
 		links := []*sim.Resource{src.HCA.Out, dst.HCA.In}
 		if !from.IsHost() {
 			links = append(links, src.PCIe[from.Local].Out)
@@ -157,7 +158,7 @@ func (c *Cluster) interNode(at sim.Time, from, to DeviceID, bytes int64, mode Tr
 			start, t = s, e
 			t += bwTime(bytes, p.HostMemBW) // copy into the MPI bounce buffer
 		}
-		ws, we := reserveAll(t, netLat+bwTime(bytes, p.IBBW), src.HCA.Out, dst.HCA.In)
+		ws, we := reserveAll(t, wire(netLat+bwTime(bytes, p.IBBW)), src.HCA.Out, dst.HCA.In)
 		if from.IsHost() {
 			start = ws
 		}

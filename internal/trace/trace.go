@@ -108,6 +108,7 @@ var phaseGlyphs = map[string]byte{
 	"aggregation": 'A',
 	"update":      'U',
 	"bcast-wire":  'w',
+	"recovery":    'R',
 }
 
 // Gantt renders an ASCII timeline, one row per rank, `width` columns

@@ -32,6 +32,7 @@ import (
 	"scaffe/internal/coll"
 	"scaffe/internal/core"
 	"scaffe/internal/data"
+	"scaffe/internal/fault"
 	"scaffe/internal/gpu"
 	"scaffe/internal/layers"
 	"scaffe/internal/models"
@@ -133,6 +134,34 @@ type Dataset = data.Dataset
 // Trace records per-rank phase timelines; attach one to Config.Trace
 // and export it with WriteChromeTrace or Gantt after the run.
 type Trace = trace.Recorder
+
+// Sentinel errors a caller (or exit code) can branch on.
+var (
+	// ErrConfig wraps every configuration-validation failure.
+	ErrConfig = core.ErrConfig
+	// ErrUnrecovered reports a faulted run that lost every rank.
+	ErrUnrecovered = core.ErrUnrecovered
+)
+
+// FaultSchedule scripts deterministic fault injection; attach one to
+// Config.Faults to arm the fault-tolerance plane.
+type FaultSchedule = fault.Schedule
+
+// FaultEvent is one scripted fault.
+type FaultEvent = fault.Event
+
+// FaultReport summarizes a faulted run (Result.Fault).
+type FaultReport = fault.Report
+
+// FaultRecovery describes one detected failure and its recovery.
+type FaultRecovery = fault.Recovery
+
+// LoadFaultSchedule reads a fault-schedule file (one event per line,
+// e.g. "100ms crash rank=3"; see configs/faults_demo.txt).
+func LoadFaultSchedule(path string) (FaultSchedule, error) { return fault.LoadSchedule(path) }
+
+// ParseFaultSchedule parses the textual schedule format.
+func ParseFaultSchedule(text string) (FaultSchedule, error) { return fault.ParseSchedule(text) }
 
 // NewTrace returns an empty timeline recorder.
 func NewTrace() *Trace { return trace.New() }

@@ -25,4 +25,11 @@ echo "== go test -race =="
 # more than the default 10-minute per-package budget.
 go test -race -timeout 45m ./...
 
+echo "== fuzz smoke =="
+# A few seconds per target keeps the parsers honest without turning the
+# gate into a fuzzing campaign; run longer sessions by hand with
+# -fuzztime as needed.
+go test -run '^$' -fuzz FuzzSnapshotDecode -fuzztime 5s ./internal/core
+go test -run '^$' -fuzz FuzzParse -fuzztime 5s ./internal/proto
+
 echo "== OK =="
