@@ -1,10 +1,10 @@
 # Top-level developer targets. `make check` is the pre-merge gate
-# (formatting, vet, build, race-enabled tests); the rest are the usual
-# shortcuts.
+# (formatting, vet, lint, build, race-enabled tests); the rest are the
+# usual shortcuts.
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench fmt vet lint check
 
 all: build
 
@@ -28,6 +28,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# scaffe-lint enforces the repo-specific invariants (determinism,
+# hot-path allocation, MPI request discipline, trace-span balance);
+# see internal/lint and DESIGN.md §10.
+lint:
+	$(GO) run ./cmd/scaffe-lint ./...
 
 check:
 	sh scripts/check.sh

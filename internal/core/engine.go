@@ -347,10 +347,11 @@ func (st *runState) buildReaders(k *sim.Kernel, localBatch int) {
 // timed runs fn, adds the elapsed virtual time to *acc, and records
 // the span on the run's trace recorder under the given phase name.
 func (st *runState) timed(r *mpi.Rank, acc *sim.Duration, phase string, fn func()) {
+	span := st.cfg.Trace.Begin(r.ID, phase, "", r.Now())
 	before := r.Now()
 	fn()
 	*acc += r.Now() - before
-	st.cfg.Trace.Add(r.ID, phase, before, r.Now())
+	span.End(r.Now())
 }
 
 // dataWait starts an iteration: it charges the framework's fixed

@@ -254,9 +254,9 @@ func syncLatency(ranks int, bytes int64, ring bool) (sim.Duration, error) {
 			start = r.Now()
 		}
 		if ring {
-			coll.RingAllreduce(comm, r, buf, 10, coll.DefaultOptions())
+			coll.RingAllreduce(comm, r, buf, benchTag, coll.DefaultOptions())
 		} else {
-			coll.Allreduce(red, comm, r, buf, 10, topology.ModeAuto)
+			coll.Allreduce(red, comm, r, buf, benchTag, topology.ModeAuto)
 		}
 		if r.Now() > done {
 			done = r.Now()

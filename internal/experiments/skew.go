@@ -68,7 +68,7 @@ func stragglerReduce(ranks int, bytes int64, alg coll.Algorithm, stragglerRank i
 			if r.ID == 0 && trial == 1 {
 				start = r.Now()
 			}
-			red.Reduce(r, buf, 10)
+			red.Reduce(r, buf, benchTag)
 			if trial == 1 && r.Now() > done {
 				done = r.Now()
 			}

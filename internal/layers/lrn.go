@@ -60,6 +60,8 @@ func (l *LRN) window(c int) (lo, hi int) {
 }
 
 // Forward implements Layer.
+//
+//scaffe:hotpath
 func (l *LRN) Forward(in *tensor.Tensor) *tensor.Tensor {
 	l.checkIn(in)
 	l.lastIn = in
@@ -88,6 +90,8 @@ func (l *LRN) Forward(in *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+//scaffe:hotpath
 func (l *LRN) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	gradIn := l.gradIn
 	gradIn.Zero() // direct and cross terms accumulate below

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The mpi pass enforces three pieces of request discipline:
+//
+//  1. lifecycle — every non-blocking call (Isend, Irecv, Ibcast,
+//     Ireduce, NewDeferredRequest) returns a *Request that must reach a
+//     Wait/Test (any later use counts) on every path; discarding the
+//     result or letting the variable die unexamined leaks the request
+//     and, under ULFM-style revocation, strands the completion;
+//  2. tags — message tags must be named constants (or expressions over
+//     them), never bare integer literals: two call sites inventing the
+//     same literal tag cross their matches silently;
+//  3. helper threads — closures handed to SpawnThread model the
+//     communication helper thread; issuing a blocking collective from
+//     one deadlocks the rank the moment the main thread enters the
+//     same collective.
+
+func runMPI(pkg *Pkg, report func(pos token.Pos, msg string)) {
+	runFlow(pkg, flowSpec{
+		creator: requestCreator,
+		discardMsg: func(c string) string {
+			return fmt.Sprintf("%s result discarded: the request never reaches Wait/Test and leaks", c)
+		},
+		leakMsg: func(c string) string {
+			return fmt.Sprintf("request from %s does not reach Wait/Test on every path", c)
+		},
+	}, report)
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkTagArgs(pkg, call, report)
+			checkHelperThread(pkg, call, report)
+			return true
+		})
+	}
+}
+
+// requestCreator names non-blocking request constructors.
+func requestCreator(pkg *Pkg, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg, call)
+	switch {
+	case funcFrom(fn, "scaffe/internal/mpi", "Isend", "Irecv", "Ibcast", "NewDeferredRequest"):
+		return "mpi." + fn.Name()
+	case funcFrom(fn, "scaffe/internal/coll", "Ireduce"):
+		return "coll.Ireduce"
+	}
+	return ""
+}
+
+// checkTagArgs flags bare integer literals passed to a parameter named
+// "tag" of an mpi or coll function.
+func checkTagArgs(pkg *Pkg, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	if p := fn.Pkg().Path(); p != "scaffe/internal/mpi" && p != "scaffe/internal/coll" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() {
+			break
+		}
+		if params.At(i).Name() != "tag" {
+			continue
+		}
+		if isIntLiteral(arg) {
+			report(arg.Pos(), fmt.Sprintf(
+				"literal tag passed to %s.%s; use a named constant so call sites cannot collide", fn.Pkg().Name(), fn.Name()))
+		}
+	}
+}
+
+// isIntLiteral reports whether expr is a bare integer literal,
+// possibly parenthesized or signed.
+func isIntLiteral(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.BasicLit:
+		return e.Kind == token.INT
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return isIntLiteral(e.X)
+		}
+	}
+	return false
+}
+
+// checkHelperThread flags blocking collectives inside a closure passed
+// to mpi SpawnThread.
+func checkHelperThread(pkg *Pkg, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
+	fn := calleeFunc(pkg, call)
+	if !funcFrom(fn, "scaffe/internal/mpi", "SpawnThread") {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			ifn := calleeFunc(pkg, inner)
+			switch {
+			case funcFrom(ifn, "scaffe/internal/mpi", "Bcast"):
+				report(inner.Pos(), "blocking mpi.Bcast inside a SpawnThread helper; it deadlocks against the main thread's collectives — use Ibcast")
+			case funcFrom(ifn, "scaffe/internal/coll", "Reduce", "Allreduce", "RingAllreduce", "ReduceScatterGather", "BcastScatterAllgather"):
+				report(inner.Pos(), fmt.Sprintf(
+					"blocking collective coll.%s inside a SpawnThread helper; it deadlocks against the main thread's collectives — use coll.Ireduce", ifn.Name()))
+			}
+			return true
+		})
+	}
+}

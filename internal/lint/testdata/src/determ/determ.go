@@ -1,0 +1,44 @@
+// Package determ seeds determinism-pass violations for the golden
+// fixture test. Its import path contains lint/testdata, so the pass
+// treats it as deterministic scope.
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"scaffe/internal/sim"
+	"scaffe/internal/trace"
+)
+
+func wallClock() sim.Duration {
+	start := time.Now()                    // want `time.Now reads the wall clock`
+	return sim.Duration(time.Since(start)) // want `time.Since reads the wall clock`
+}
+
+func globalRandomness() int {
+	return rand.Intn(10) // want `global rand.Intn is unseeded`
+}
+
+func seededRandomness() int {
+	rng := rand.New(rand.NewSource(42)) // seeded: allowed
+	return rng.Intn(10)
+}
+
+func mapOrderIntoTrace(rec *trace.Recorder, spans map[string]sim.Time) {
+	for phase, start := range spans { // want `map iteration order is randomized but this loop feeds trace.Add`
+		rec.Add(0, phase, start, start+1)
+	}
+}
+
+func sortedOrderIntoTrace(rec *trace.Recorder, spans map[string]sim.Time) {
+	phases := make([]string, 0, len(spans))
+	for phase := range spans { // collecting keys is order-independent
+		phases = append(phases, phase)
+	}
+	sort.Strings(phases)
+	for _, phase := range phases { // slice range: allowed
+		rec.Add(0, phase, spans[phase], spans[phase]+1)
+	}
+}

@@ -1,0 +1,49 @@
+// Package hotfix seeds hotpath-pass violations for the golden fixture
+// test: the annotated functions contain each forbidden allocating
+// construct; the unannotated twin repeats them without diagnostics.
+package hotfix
+
+import "fmt"
+
+type state struct {
+	buf []float32
+	sum float32
+}
+
+//scaffe:hotpath
+func hotAllocates(s *state, n int) {
+	tmp := make([]float32, n)  // want `make allocates`
+	s.buf = append(s.buf, 1)   // want `append may grow`
+	pair := []int{1, 2}        // want `slice literal allocates`
+	_ = map[string]int{"a": 1} // want `map literal allocates`
+	p := &state{}              // want `&T\{\} escapes to the heap`
+	_ = fmt.Sprintf("%d", n)   // want `fmt.Sprintf allocates`
+	f := func() { s.sum++ }    // want `function literal`
+	go f()                     // want `go statement`
+	_, _, _ = tmp, pair, p
+}
+
+func sink(v interface{}) { _ = v }
+
+//scaffe:hotpath
+func hotBoxesAndConcats(s *state, name string) string {
+	sink(s.sum)       // want `boxes it on the heap`
+	return name + "!" // want `string concatenation allocates`
+}
+
+//scaffe:hotpath
+func hotClean(s *state) {
+	for i := range s.buf {
+		s.sum += s.buf[i]
+	}
+	if s.sum < 0 {
+		panic(fmt.Sprintf("bad sum %f", s.sum)) // panic path: exempt
+	}
+}
+
+func coldAllocates(s *state, n int) { // unannotated: same constructs, no findings
+	tmp := make([]float32, n)
+	s.buf = append(s.buf, 1)
+	_ = fmt.Sprintf("%d", n)
+	_ = tmp
+}

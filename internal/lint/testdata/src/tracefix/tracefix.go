@@ -1,0 +1,37 @@
+// Package tracefix seeds trace-pass violations for the golden fixture
+// test: spans that never reach End, and balanced spans that must not
+// fire.
+package tracefix
+
+import (
+	"scaffe/internal/sim"
+	"scaffe/internal/trace"
+)
+
+func discardedSpan(rec *trace.Recorder, now sim.Time) {
+	rec.Begin(0, "forward", "", now) // want `span from Recorder.Begin discarded`
+}
+
+func leakedSpan(rec *trace.Recorder, now sim.Time) sim.Time {
+	span := rec.Begin(0, "forward", "", now) // want `span from Recorder.Begin does not reach End`
+	if now > 100 {
+		return now
+	}
+	span.End(now + 1)
+	return now + 1
+}
+
+func reassignedSpan(rec *trace.Recorder, now sim.Time) {
+	span := rec.Begin(0, "forward", "", now) // want `span from Recorder.Begin does not reach End`
+	span = rec.Begin(0, "backward", "", now)
+	span.End(now + 1)
+}
+
+func balancedSpan(rec *trace.Recorder, now sim.Time) {
+	span := rec.Begin(0, "forward", "", now)
+	if now > 100 {
+		span.End(now)
+		return
+	}
+	span.End(now + 1)
+}

@@ -33,6 +33,8 @@ const (
 // GOMAXPROCS setting. Parallel dispatch goes through a persistent
 // worker pool and a pooled call descriptor, so steady-state calls do
 // not allocate.
+//
+//scaffe:hotpath
 func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []float32, beta float32, c []float32) {
 	if len(c) < m*n {
 		panic("tensor: gemm C too small")
@@ -93,6 +95,8 @@ func Gemm(transA, transB bool, m, n, k int, alpha float32, a []float32, b []floa
 // elements, so the GEMM path's m*n parallel threshold and per-row
 // partitioning are mis-sized for it; plain dot (no-trans) and axpy
 // (trans) loops beat goroutine fan-out for every shape the models use.
+//
+//scaffe:hotpath
 func Gemv(transA bool, m, k int, alpha float32, a, x []float32, beta float32, y []float32) {
 	if transA {
 		// y (len k) = beta*y + alpha * A^T x, accumulated row by row.

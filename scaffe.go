@@ -239,6 +239,10 @@ type ReduceBenchConfig struct {
 	Trials int
 }
 
+// reduceBenchTag tags ReduceBench's synthetic reductions; a named
+// constant so benchmark traffic can never collide with a training tag.
+const reduceBenchTag = 10
+
 // ReduceBench measures the latency of one reduction configuration: the
 // mean, over trials, of the span from the synchronized start to the
 // last rank's completion. Runs are deterministic.
@@ -273,7 +277,7 @@ func ReduceBench(cfg ReduceBenchConfig) (sim.Duration, error) {
 			if r.ID == 0 {
 				enterBarrier = r.Now()
 			}
-			red.Reduce(r, buf, 10)
+			red.Reduce(r, buf, reduceBenchTag)
 			if r.Now() > lastDone {
 				lastDone = r.Now()
 			}

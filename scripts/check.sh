@@ -1,21 +1,27 @@
 #!/bin/sh
-# check.sh — the repository's pre-merge gate: formatting, vet, build,
-# and the full test suite under the race detector. Run from anywhere;
-# it always operates on the repository root.
+# check.sh — the repository's pre-merge gate: formatting, vet,
+# scaffe-lint, build, and the full test suite under the race detector.
+# Run from anywhere; it always operates on the repository root.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "== gofmt =="
-unformatted=$(gofmt -l .)
+unformatted=$(gofmt -s -l .)
 if [ -n "$unformatted" ]; then
-    echo "gofmt needed on:" >&2
+    echo "gofmt -s needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
 
 echo "== go vet =="
 go vet ./...
+
+echo "== scaffe-lint =="
+# The repo-specific static gate (determinism, hot-path allocation, MPI
+# request discipline, trace-span balance); cheap, so it runs before the
+# race-instrumented test phase. See internal/lint and DESIGN.md §10.
+go run ./cmd/scaffe-lint ./...
 
 echo "== go build =="
 go build ./...
