@@ -59,6 +59,9 @@ func BenchmarkExtAccuracyEquivalence(b *testing.B) {
 func BenchmarkExtFaultRecovery(b *testing.B) {
 	runExperiment(b, "faults", experiments.Options{Iterations: 24})
 }
+func BenchmarkExtSDC(b *testing.B) {
+	runExperiment(b, "sdc", experiments.Options{Iterations: 24})
+}
 
 // BenchmarkReduce256MB160GPUs measures the headline reduction point
 // (256 MB over 160 GPUs) per algorithm, reporting the virtual latency.

@@ -9,9 +9,11 @@
 //	scaffe-train -model alexnet -gpus 16 -nodes 20 -gpus-per-node 2 -design cntk
 //	scaffe-train -model cifar10-quick -gpus 4 -real -iters 50
 //	scaffe-train -model cifar10-quick -gpus 8 -design scob -faults configs/faults_demo.txt -summary
+//	scaffe-train -model tiny -gpus 4 -real -integrity recover -faults sdc.txt
 //
 // Exit codes: 0 success, 1 runtime failure, 2 invalid configuration,
-// 3 unrecovered failure (every rank lost to injected faults).
+// 3 unrecovered failure (every rank lost to injected faults),
+// 4 corruption detected while -integrity detect (observe-only) was set.
 package main
 
 import (
@@ -30,6 +32,7 @@ const (
 	exitFailure     = 1
 	exitConfig      = 2
 	exitUnrecovered = 3
+	exitCorruption  = 4
 )
 
 func main() {
@@ -52,6 +55,7 @@ func main() {
 	gantt := flag.Bool("gantt", false, "print an ASCII timeline of the run")
 	summary := flag.Bool("summary", false, "print the per-rank phase totals and compute/communication overlap table")
 	faultsFile := flag.String("faults", "", "inject faults from a schedule file (one event per line, e.g. `100ms crash rank=3`)")
+	integrity := flag.String("integrity", "off", "silent-corruption plane: off, detect (observe only; exit 4 on corruption), recover (retransmit + micro-rollback)")
 	flag.Parse()
 
 	var cfg scaffe.Config
@@ -159,6 +163,11 @@ func main() {
 		}
 		cfg.Faults = sched
 	}
+	mode, err := scaffe.ParseIntegrityMode(*integrity)
+	if err != nil {
+		fatalConfig(err)
+	}
+	cfg.Integrity = mode
 
 	var rec *scaffe.Trace
 	if *traceFile != "" || *gantt || *summary {
@@ -204,6 +213,9 @@ func main() {
 				rec.RestartIter, rec.Survivors, rec.RolledBack)
 		}
 	}
+	if res.Integrity != nil {
+		fmt.Printf("integrity: %v\n", res.Integrity)
+	}
 	if *summary {
 		fmt.Println("per-rank summary (communication hidden under compute):")
 		fmt.Printf("  %-5s %12s %12s %12s %12s %12s %8s\n",
@@ -229,6 +241,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s (%d spans)\n", *traceFile, rec.Len())
+	}
+	if ir := res.Integrity; ir != nil && ir.Mode == scaffe.IntegrityDetect &&
+		(ir.Detected > 0 || ir.WatchdogTrips > 0) {
+		fmt.Fprintln(os.Stderr, "scaffe-train: corruption detected (observe-only mode)")
+		os.Exit(exitCorruption)
 	}
 }
 

@@ -51,7 +51,7 @@ func RingAllreduce(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o Options
 		rlo, rhi := segOf(recvSeg)
 		scratch := newLike(buf.Slice(rlo, rhi))
 		sreq := r.Isend(c, right, tag+step, buf.Slice(slo, shi), o.Mode)
-		r.Recv(c, left, tag+step, scratch)
+		r.RecvSummed(c, left, tag+step, scratch).Verify()
 		acc := buf.Slice(rlo, rhi)
 		localReduce(r, acc, scratch, o)
 		r.Wait(sreq)
@@ -63,7 +63,7 @@ func RingAllreduce(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o Options
 		slo, shi := segOf(sendSeg)
 		rlo, rhi := segOf(recvSeg)
 		sreq := r.Isend(c, right, tag+size+step, buf.Slice(slo, shi), o.Mode)
-		r.Recv(c, left, tag+size+step, buf.Slice(rlo, rhi))
+		r.RecvSummed(c, left, tag+size+step, buf.Slice(rlo, rhi)).Verify()
 		r.Wait(sreq)
 	}
 }

@@ -40,7 +40,7 @@ func BcastScatterAllgather(c *mpi.Comm, r *mpi.Rank, root int, buf *gpu.Buffer, 
 			hi = size
 		}
 		if boundary(rel) < boundary(hi) {
-			r.Recv(c, abs(parent), tag, segment(rel, hi))
+			r.RecvSummed(c, abs(parent), tag, segment(rel, hi)).Verify()
 		}
 		entryBit = bit
 	}
@@ -69,7 +69,7 @@ func BcastScatterAllgather(c *mpi.Comm, r *mpi.Rank, root int, buf *gpu.Buffer, 
 			sreq = r.Isend(c, right, tag+1+step, segment(sendSeg, sendSeg+1), mode)
 		}
 		if boundary(recvSeg) < boundary(recvSeg+1) {
-			r.Recv(c, left, tag+1+step, segment(recvSeg, recvSeg+1))
+			r.RecvSummed(c, left, tag+1+step, segment(recvSeg, recvSeg+1)).Verify()
 		}
 		if sreq != nil {
 			r.Wait(sreq)

@@ -42,7 +42,7 @@ func ReduceScatterGather(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o O
 		}
 		scratch := newLike(buf.Slice(keepLo, keepHi))
 		sreq := r.Isend(c, peer, tag, buf.Slice(sendLo, sendHi), o.Mode)
-		r.Recv(c, peer, tag, scratch)
+		r.RecvSummed(c, peer, tag, scratch).Verify()
 		keep := buf.Slice(keepLo, keepHi)
 		localReduce(r, keep, scratch, o)
 		r.Wait(sreq)
@@ -83,7 +83,7 @@ func ReduceScatterGather(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o O
 		if peerLo >= peerHi {
 			continue
 		}
-		r.Recv(c, peer, tag+1, buf.Slice(peerLo, peerHi))
+		r.RecvSummed(c, peer, tag+1, buf.Slice(peerLo, peerHi)).Verify()
 	}
 }
 

@@ -35,7 +35,7 @@ func (b *binomialReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 		if scratch == nil {
 			scratch = newLike(buf)
 		}
-		r.Recv(b.c, peer, tag, scratch)
+		r.RecvSummed(b.c, peer, tag, scratch).Verify()
 		localReduce(r, buf, scratch, b.o)
 	}
 }
@@ -89,7 +89,7 @@ func (cr *chainReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 			}
 			tmp := buf.Slice(lo, hi)
 			scratch := newLike(tmp)
-			r.Recv(cr.c, 1, tag, scratch)
+			r.RecvSummed(cr.c, 1, tag, scratch).Verify()
 			localReduce(r, tmp, scratch, cr.o)
 		}
 
@@ -102,7 +102,7 @@ func (cr *chainReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 			}
 			mine := buf.Slice(lo, hi)
 			scratch := newLike(mine)
-			r.Recv(cr.c, me+1, tag, scratch)
+			r.RecvSummed(cr.c, me+1, tag, scratch).Verify()
 			localReduce(r, mine, scratch, cr.o)
 			sreqs = append(sreqs, r.Isend(cr.c, me-1, tag, mine, cr.o.Mode))
 		}

@@ -206,6 +206,25 @@ type Config struct {
 	// (default fault.DefaultTimeout).
 	FaultTimeout sim.Duration
 
+	// Integrity arms the silent-data-corruption plane: per-chunk
+	// checksums on collective receives and broadcast edges, plus (in
+	// real mode) the root's numeric-health watchdog with micro-
+	// rollback. IntegrityOff runs the exact seed code paths.
+	Integrity IntegrityMode
+	// IntegrityRetries caps micro-rollback retries of one tripped
+	// iteration before its batch is quarantined (update skipped).
+	// Zero defaults to 2; negative quarantines on the first trip.
+	IntegrityRetries int
+	// RetransmitBudget caps per-chunk retransmissions before a
+	// corrupted transfer escalates to a communicator revocation
+	// (default 2).
+	RetransmitBudget int
+	// DivergeFactor is the watchdog's divergence trip ratio: a loss
+	// (or squared gradient norm) more than this factor above its
+	// running EWMA is treated as corruption (default 1e6 — far above
+	// any healthy excursion).
+	DivergeFactor float64
+
 	// Trace, when non-nil, records every phase span of every rank for
 	// timeline export (see internal/trace).
 	Trace *trace.Recorder
@@ -254,6 +273,37 @@ func (c *Config) validate() error {
 		case SCB, SCOB, SCOBR, SCOBRF, CNTKLike:
 		default:
 			return fmt.Errorf("core: fault injection supports the MPI data-parallel designs only, not %s", c.Design)
+		}
+	}
+	switch c.Integrity {
+	case IntegrityOff, IntegrityDetect, IntegrityRecover:
+	default:
+		return fmt.Errorf("core: unknown integrity mode %d", int(c.Integrity))
+	}
+	if c.Integrity != IntegrityOff {
+		switch c.Design {
+		case SCB, SCOB, SCOBR, SCOBRF:
+		case CNTKLike:
+			if c.RealNet != nil {
+				return fmt.Errorf("core: integrity in real-compute mode needs a root-broadcast design (the parameter broadcast heals replicas after a rollback), not %s", c.Design)
+			}
+		default:
+			return fmt.Errorf("core: integrity plane supports the MPI data-parallel designs only, not %s", c.Design)
+		}
+	}
+	for i, ev := range c.Faults {
+		switch ev.Kind {
+		case fault.BitFlip:
+			if c.RealNet == nil {
+				return fmt.Errorf("core: fault event %d: bitflip corrupts resident parameters and needs real-compute mode (RealNet)", i)
+			}
+			if c.Integrity == IntegrityOff {
+				return fmt.Errorf("core: fault event %d: bitflip needs the integrity plane armed (Integrity detect or recover)", i)
+			}
+		case fault.CorruptWire:
+			if c.Integrity == IntegrityOff {
+				return fmt.Errorf("core: fault event %d: corrupt-wire needs the integrity plane armed (Integrity detect or recover)", i)
+			}
 		}
 	}
 	workers := c.GPUs
@@ -314,9 +364,22 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("core: fault-detection timeout must be positive, got %v", c.FaultTimeout)
 	case c.BaseLR < 0:
 		return fmt.Errorf("core: base learning rate must be positive, got %g", c.BaseLR)
+	case c.RetransmitBudget < 0:
+		return fmt.Errorf("core: chunk retransmit budget must be positive, got %d", c.RetransmitBudget)
+	case c.DivergeFactor < 0:
+		return fmt.Errorf("core: divergence factor must be positive, got %g", c.DivergeFactor)
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 2
+	}
+	if c.IntegrityRetries == 0 {
+		c.IntegrityRetries = 2
+	}
+	if c.RetransmitBudget == 0 {
+		c.RetransmitBudget = 2
+	}
+	if c.DivergeFactor == 0 {
+		c.DivergeFactor = 1e6
 	}
 	if c.GPUsPerNode == 0 {
 		c.GPUsPerNode = 16
@@ -437,6 +500,11 @@ type Result struct {
 	// detection latencies, recovery times, survivor count. Nil for
 	// fault-free runs.
 	Fault *fault.Report
+
+	// Integrity is the integrity plane's outcome — corruptions
+	// detected, chunks retransmitted, watchdog trips, rollbacks,
+	// quarantined batches. Nil when the plane is off.
+	Integrity *IntegrityReport
 
 	// HCAUtilization is the mean busy fraction of the InfiniBand
 	// adapters over the run (both directions), a view into how

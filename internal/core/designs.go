@@ -329,7 +329,14 @@ func (st *runState) addUpdate(g *sched.Graph, w *workload, it, workers int) {
 		_, end := x.R.Dev.LaunchCompute(x.P.Now(), updateFLOPs(st.cfg.Spec.TotalParams()))
 		if w.real() {
 			w.unpackGrads()
-			st.sgds[x.R.ID].Step(w.net, it, 1/float32(workers))
+			// The health gate runs before the step, so poisoned
+			// gradients never reach the parameters (recover mode
+			// unwinds here into a micro-rollback); a quarantined
+			// batch skips its update entirely.
+			if st.integrityCheck(w, it) {
+				st.sgds[x.R.ID].Step(w.net, it, 1/float32(workers))
+				st.noteLastGood(w)
+			}
 		}
 		x.P.WaitUntil(end)
 	})
@@ -354,6 +361,9 @@ func (st *runState) addLocalUpdate(g *sched.Graph, r *mpi.Rank, w *workload, it 
 		}
 		x.P.WaitUntil(end)
 	})
+	// (No health gate here: integrity in real-compute mode is
+	// restricted to the root-broadcast designs, whose parameter
+	// broadcast is what heals replicas after a rollback.)
 	g.Add(0, sched.Generic, "", "post-update", func(x *sched.Ctx) {
 		if st.isRoot(r) {
 			if w.real() {

@@ -57,6 +57,19 @@ type runState struct {
 	lastGoodIter int
 	epoch        int // recovery epochs, for reader proc naming
 	recSeen      int // fault.Recovery records already processed
+
+	// Integrity state (nil/zero when the plane is off; see
+	// integrity.go).
+	integ           *IntegrityReport
+	lastGoodParams  []float32 // root params after the last healthy Step
+	lastGoodHistory []float32 // root momentum to match
+	lossEWMA        float64   // divergence baselines (0 = unseeded)
+	normEWMA        float64
+	integTries      map[int]int  // per-iteration watchdog trip counts
+	quarantined     map[int]bool // iterations condemned past their retries
+	integRetry      bool         // current revocation is a watchdog trip
+	integIter       int          // iteration the watchdog tripped on
+	integTripAt     sim.Time     // trip time, for the rollback span
 }
 
 // updateFLOPs is the arithmetic cost of one SGD update over n
@@ -103,13 +116,21 @@ func run(cfg Config) (*Result, *runState, error) {
 	st.world = mpi.NewWorld(cluster, cfg.GPUs)
 	st.comm = st.world.WorldComm()
 	var pl *fault.Plane
-	if len(cfg.Faults) > 0 {
+	if len(cfg.Faults) > 0 || cfg.Integrity != IntegrityOff {
 		pl = fault.NewPlane(k, cfg.GPUs, cfg.FaultTimeout)
 		st.ft = pl
 		st.world.Fault = pl
 		st.ranksLive = cfg.GPUs
 		st.lastGoodIter = cfg.StartIteration - 1
 		cluster.SetLinkFault(pl.LinkFactor)
+	}
+	if cfg.Integrity != IntegrityOff {
+		st.integ = &IntegrityReport{Mode: cfg.Integrity}
+		st.world.Integrity = &mpi.Integrity{
+			Mode:        cfg.Integrity.mpiMode(),
+			RetryBudget: cfg.RetransmitBudget,
+			WireCorrupt: pl.WireCorrupt,
+		}
 	}
 	opts := cfg.ReduceOpts
 	if opts == (coll.Options{}) {
@@ -144,6 +165,9 @@ func run(cfg Config) (*Result, *runState, error) {
 			if err := st.resume(cfg.ResumeFrom); err != nil {
 				return nil, nil, err
 			}
+		}
+		if cfg.Integrity == IntegrityRecover {
+			st.initLastGood()
 		}
 	}
 	st.buildReaders(k, localBatch)
@@ -211,6 +235,15 @@ func run(cfg Config) (*Result, *runState, error) {
 	}
 	if pl != nil {
 		res.Fault = pl.Report()
+	}
+	if st.integ != nil {
+		if mi := st.world.Integrity; mi != nil {
+			st.integ.Verified = mi.Verified
+			st.integ.Detected = mi.Detected
+			st.integ.Retransmitted = mi.Retransmits
+			st.integ.Escalations = mi.Escalations
+		}
+		res.Integrity = st.integ
 	}
 	samples := float64(cfg.Iterations-cfg.StartIteration) * float64(localBatch) * float64(workers)
 	if total > 0 {

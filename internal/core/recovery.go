@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"scaffe/internal/coll"
 	"scaffe/internal/data"
@@ -36,6 +37,36 @@ func (a *applier) KillRank(rank int, kind fault.Kind) {
 // SetCompute implements fault.Applier: straggler on/off.
 func (a *applier) SetCompute(rank int, factor float64) {
 	a.st.world.Ranks[rank].Dev.SetSlowdown(factor)
+}
+
+// FlipBit implements fault.BitFlipper: flip one bit of one resident
+// network parameter — silent in-memory corruption that no checksum on
+// the wire can see, only the numeric-health watchdog. The word index
+// wraps, so schedules stay valid across models.
+func (a *applier) FlipBit(rank, word, bit int) {
+	w := a.st.wl[rank]
+	if w == nil || !w.real() {
+		return
+	}
+	total := 0
+	for _, l := range w.net.Layers {
+		for _, p := range l.Params() {
+			total += len(p.Data)
+		}
+	}
+	if total == 0 {
+		return
+	}
+	idx := word % total
+	for _, l := range w.net.Layers {
+		for _, p := range l.Params() {
+			if idx < len(p.Data) {
+				p.Data[idx] = math.Float32frombits(math.Float32bits(p.Data[idx]) ^ 1<<uint(bit))
+				return
+			}
+			idx -= len(p.Data)
+		}
+	}
 }
 
 // stalledSource wraps a rank's data source with the plane's
@@ -126,6 +157,16 @@ func (st *runState) rankDone(rank int) {
 func (st *runState) rebuild() int {
 	cfg := st.cfg
 	pl := st.ft
+
+	// A watchdog trip revokes with zero failed ranks and takes the
+	// micro-rollback path — unless a real failure landed in the same
+	// round, in which case the full rebuild below handles both.
+	micro := st.integRetry
+	st.integRetry = false
+	if micro && len(pl.Report().Recoveries) == st.recSeen {
+		return st.rebuildMicro()
+	}
+
 	alive := pl.AliveRanks()
 
 	// Fail-stop any helper lanes still unwinding from the revoked

@@ -115,6 +115,7 @@ func All() []Runner {
 		{"mpdp", "Extension: data-parallel vs model-parallel (Table 1 design space)", MPvsDP},
 		{"accuracy", "Real-compute training equivalence (the §6.2 accuracy validation)", Accuracy},
 		{"faults", "Extension: MTBF × snapshot-interval sweep of elastic fault tolerance", Faults},
+		{"sdc", "Extension: silent-data-corruption detection and recovery drill", SDC},
 	}
 }
 

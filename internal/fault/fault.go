@@ -43,6 +43,15 @@ const (
 	// SnapshotFail makes snapshot writes fail for a window of For
 	// (or just the next write when For is zero).
 	SnapshotFail
+	// BitFlip flips bit Bit of 32-bit word Word of a rank's resident
+	// network parameters at virtual time At — a silent in-memory
+	// corruption only the numeric-health watchdog can see.
+	BitFlip
+	// CorruptWire arms corruption of the N-th checksummed transfer on
+	// the directed link Src->Dst at or after At; the integrity plane's
+	// checksum verification detects and (in recover mode) retransmits
+	// it.
+	CorruptWire
 )
 
 func (k Kind) String() string {
@@ -61,6 +70,10 @@ func (k Kind) String() string {
 		return "stall"
 	case SnapshotFail:
 		return "snapfail"
+	case BitFlip:
+		return "bitflip"
+	case CorruptWire:
+		return "corrupt-wire"
 	}
 	return "unknown"
 }
@@ -81,6 +94,15 @@ type Event struct {
 	// For is the window length (LinkDegrade, ReaderStall,
 	// SnapshotFail).
 	For sim.Duration
+	// Src and Dst are the directed link endpoints (CorruptWire).
+	Src, Dst int
+	// N selects the N-th checksummed transfer on the link at or after
+	// At (CorruptWire; 1 = the next one).
+	N int
+	// Word and Bit address the flipped bit inside the rank's packed
+	// parameter vector (BitFlip); Word is taken modulo the parameter
+	// count.
+	Word, Bit int
 }
 
 // Schedule is an ordered fault script. Events firing at the same
@@ -95,7 +117,7 @@ func (s Schedule) Validate(ranks, nodes int) error {
 			return fmt.Errorf("fault: event %d: negative time %v", i, ev.At)
 		}
 		switch ev.Kind {
-		case Crash, Hang, StragglerOn, StragglerOff, ReaderStall:
+		case Crash, Hang, StragglerOn, StragglerOff, ReaderStall, BitFlip:
 			if ev.Rank < 0 || ev.Rank >= ranks {
 				return fmt.Errorf("fault: event %d: rank %d out of range [0,%d)", i, ev.Rank, ranks)
 			}
@@ -103,9 +125,30 @@ func (s Schedule) Validate(ranks, nodes int) error {
 			if ev.Node < 0 || ev.Node >= nodes {
 				return fmt.Errorf("fault: event %d: node %d out of range [0,%d)", i, ev.Node, nodes)
 			}
+		case CorruptWire:
+			if ev.Src < 0 || ev.Src >= ranks {
+				return fmt.Errorf("fault: event %d: src %d out of range [0,%d)", i, ev.Src, ranks)
+			}
+			if ev.Dst < 0 || ev.Dst >= ranks {
+				return fmt.Errorf("fault: event %d: dst %d out of range [0,%d)", i, ev.Dst, ranks)
+			}
+			if ev.Src == ev.Dst {
+				return fmt.Errorf("fault: event %d: corrupt-wire needs src != dst, got %d", i, ev.Src)
+			}
+			if ev.N < 1 {
+				return fmt.Errorf("fault: event %d: corrupt-wire needs n >= 1, got %d", i, ev.N)
+			}
 		case SnapshotFail:
 		default:
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(ev.Kind))
+		}
+		if ev.Kind == BitFlip {
+			if ev.Word < 0 {
+				return fmt.Errorf("fault: event %d: bitflip needs word >= 0, got %d", i, ev.Word)
+			}
+			if ev.Bit < 0 || ev.Bit >= 32 {
+				return fmt.Errorf("fault: event %d: bitflip needs bit in [0,32), got %d", i, ev.Bit)
+			}
 		}
 		switch ev.Kind {
 		case StragglerOn, LinkDegrade:
@@ -134,11 +177,17 @@ func (s Schedule) Validate(ranks, nodes int) error {
 //	60ms  degrade node=0 factor=4 for=30ms
 //	10ms  stall rank=2 for=20ms
 //	200ms snapfail for=50ms
+//	90ms  bitflip rank=1 word=1024 bit=30
+//	70ms  corrupt-wire src=3 dst=0 n=2
 //
 // Times and windows accept s/ms/us/ns suffixes (a bare number is
-// nanoseconds).
+// nanoseconds). Two rank-targeted events landing on the same rank at
+// the same instant are rejected as ambiguous (their application order
+// would be schedule-order, which the file layout makes too easy to
+// get wrong silently).
 func ParseSchedule(text string) (Schedule, error) {
 	var s Schedule
+	var lines []int // source line of each parsed event, for diagnostics
 	for ln, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -152,7 +201,7 @@ func ParseSchedule(text string) (Schedule, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fault: line %d: bad time %q: %v", ln+1, fields[0], err)
 		}
-		ev := Event{At: at, Rank: -1, Node: -1, Factor: 1}
+		ev := Event{At: at, Rank: -1, Node: -1, Factor: 1, Src: -1, Dst: -1, N: 1}
 		switch fields[1] {
 		case "crash":
 			ev.Kind = Crash
@@ -168,6 +217,10 @@ func ParseSchedule(text string) (Schedule, error) {
 			ev.Kind = ReaderStall
 		case "snapfail":
 			ev.Kind = SnapshotFail
+		case "bitflip":
+			ev.Kind = BitFlip
+		case "corrupt-wire":
+			ev.Kind = CorruptWire
 		default:
 			return nil, fmt.Errorf("fault: line %d: unknown event kind %q", ln+1, fields[1])
 		}
@@ -185,6 +238,16 @@ func ParseSchedule(text string) (Schedule, error) {
 				ev.Factor, err = strconv.ParseFloat(val, 64)
 			case "for":
 				ev.For, err = parseDuration(val)
+			case "src":
+				ev.Src, err = strconv.Atoi(val)
+			case "dst":
+				ev.Dst, err = strconv.Atoi(val)
+			case "n":
+				ev.N, err = strconv.Atoi(val)
+			case "word":
+				ev.Word, err = strconv.Atoi(val)
+			case "bit":
+				ev.Bit, err = strconv.Atoi(val)
 			default:
 				return nil, fmt.Errorf("fault: line %d: unknown key %q", ln+1, key)
 			}
@@ -198,14 +261,29 @@ func ParseSchedule(text string) (Schedule, error) {
 		if ev.Kind == LinkDegrade && ev.Node < 0 {
 			return nil, fmt.Errorf("fault: line %d: degrade needs node=N", ln+1)
 		}
+		if ev.Kind == CorruptWire && (ev.Src < 0 || ev.Dst < 0) {
+			return nil, fmt.Errorf("fault: line %d: corrupt-wire needs src=A dst=B", ln+1)
+		}
 		s = append(s, ev)
+		lines = append(lines, ln+1)
+	}
+	seen := make(map[[2]int64]int) // (time, rank) -> source line
+	for i, ev := range s {
+		if !needsRank(ev.Kind) {
+			continue
+		}
+		key := [2]int64{int64(ev.At), int64(ev.Rank)}
+		if first, dup := seen[key]; dup {
+			return nil, fmt.Errorf("fault: line %d: duplicate event for rank %d at %v (conflicts with line %d); give concurrent events distinct times", lines[i], ev.Rank, ev.At, first)
+		}
+		seen[key] = lines[i]
 	}
 	return s, nil
 }
 
 func needsRank(k Kind) bool {
 	switch k {
-	case Crash, Hang, StragglerOn, StragglerOff, ReaderStall:
+	case Crash, Hang, StragglerOn, StragglerOff, ReaderStall, BitFlip:
 		return true
 	}
 	return false

@@ -18,13 +18,15 @@ func TestParseSchedule(t *testing.T) {
 30ms stall rank=2 for=1ms
 40ms snapfail for=2ms
 50ms hang rank=0
+60ms bitflip rank=1 word=128 bit=30
+70ms corrupt-wire src=3 dst=0 n=2
 `
 	sched, err := ParseSchedule(text)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sched) != 7 {
-		t.Fatalf("parsed %d events, want 7", len(sched))
+	if len(sched) != 9 {
+		t.Fatalf("parsed %d events, want 9", len(sched))
 	}
 	if sched[0].Kind != Crash || sched[0].Rank != 3 || sched[0].At != 5*sim.Time(sim.Millisecond) {
 		t.Errorf("event 0 = %+v", sched[0])
@@ -35,8 +37,68 @@ func TestParseSchedule(t *testing.T) {
 	if sched[3].Kind != LinkDegrade || sched[3].Node != 0 || sched[3].For != 3*sim.Millisecond {
 		t.Errorf("event 3 = %+v", sched[3])
 	}
+	if ev := sched[7]; ev.Kind != BitFlip || ev.Rank != 1 || ev.Word != 128 || ev.Bit != 30 {
+		t.Errorf("event 7 = %+v", ev)
+	}
+	if ev := sched[8]; ev.Kind != CorruptWire || ev.Src != 3 || ev.Dst != 0 || ev.N != 2 {
+		t.Errorf("event 8 = %+v", ev)
+	}
 	if err := sched.Validate(4, 2); err != nil {
 		t.Errorf("validate: %v", err)
+	}
+}
+
+// TestParseScheduleRejectsDuplicates pins the ambiguity rule: two
+// rank-targeted events sharing (rank, time) are rejected with both
+// source lines named; distinct ranks, distinct times, and non-rank
+// events at the same instant remain fine.
+func TestParseScheduleRejectsDuplicates(t *testing.T) {
+	cases := []struct {
+		name, text string
+		wantErr    string // empty = must parse
+	}{
+		{
+			name:    "same kind same rank same time",
+			text:    "5ms stall rank=2 for=1ms\n5ms stall rank=2 for=2ms",
+			wantErr: "duplicate event for rank 2",
+		},
+		{
+			name:    "different kinds same rank same time",
+			text:    "10ms straggle rank=1 factor=4\n# comment between\n10ms crash rank=1",
+			wantErr: "duplicate event for rank 1",
+		},
+		{
+			name: "same time different ranks",
+			text: "5ms crash rank=1\n5ms crash rank=2",
+		},
+		{
+			name: "same rank different times",
+			text: "5ms straggle rank=1 factor=2\n6ms recover rank=1",
+		},
+		{
+			name: "rankless events may share an instant",
+			text: "5ms snapfail for=1ms\n5ms degrade node=0 factor=2 for=1ms\n5ms corrupt-wire src=0 dst=1 n=1\n5ms corrupt-wire src=0 dst=1 n=2",
+		},
+	}
+	for _, tc := range cases {
+		sched, err := ParseSchedule(tc.text)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: parsed %d events, want error containing %q", tc.name, len(sched), tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q missing %q", tc.name, err, tc.wantErr)
+		}
+		// The diagnostic must point at both conflicting lines.
+		if !strings.Contains(err.Error(), "line") || !strings.Contains(err.Error(), "conflicts with line") {
+			t.Errorf("%s: error %q does not name both lines", tc.name, err)
+		}
 	}
 }
 
@@ -47,6 +109,8 @@ func TestParseScheduleErrors(t *testing.T) {
 		{"missing rank", "1ms crash", "needs rank"},
 		{"bad kv", "1ms crash rank", "key=value"},
 		{"negative dur", "-1ms crash rank=0", "negative"},
+		{"bitflip missing rank", "1ms bitflip word=0 bit=1", "needs rank"},
+		{"corrupt-wire missing link", "1ms corrupt-wire n=1", "needs src"},
 	}
 	for _, tc := range cases {
 		if _, err := ParseSchedule(tc.text); err == nil {
@@ -67,6 +131,12 @@ func TestValidateRanges(t *testing.T) {
 		{"node high", Event{Kind: LinkDegrade, Node: 5, Factor: 2, For: sim.Millisecond}},
 		{"factor low", Event{Kind: StragglerOn, Rank: 0, Factor: 0.5}},
 		{"window zero", Event{Kind: LinkDegrade, Node: 0, Factor: 2}},
+		{"bitflip rank high", Event{Kind: BitFlip, Rank: 9, Bit: 1}},
+		{"bitflip bit high", Event{Kind: BitFlip, Rank: 0, Bit: 32}},
+		{"bitflip word negative", Event{Kind: BitFlip, Rank: 0, Bit: 1, Word: -1}},
+		{"wire src high", Event{Kind: CorruptWire, Src: 9, Dst: 0, N: 1}},
+		{"wire self link", Event{Kind: CorruptWire, Src: 1, Dst: 1, N: 1}},
+		{"wire n zero", Event{Kind: CorruptWire, Src: 0, Dst: 1}},
 	}
 	for _, tc := range cases {
 		if err := (Schedule{tc.ev}).Validate(4, 2); err == nil {

@@ -28,6 +28,14 @@ type Applier interface {
 	SetCompute(rank int, factor float64)
 }
 
+// BitFlipper is the optional Applier extension for BitFlip events:
+// flip bit `bit` of 32-bit word `word` of the rank's resident network
+// parameters. Appliers that do not implement it simply never see the
+// corruption (the event still counts as injected).
+type BitFlipper interface {
+	FlipBit(rank, word, bit int)
+}
+
 // Recovery describes one detected failure and the shrink that
 // absorbed it.
 type Recovery struct {
@@ -70,6 +78,9 @@ type Report struct {
 	// SnapshotFailures counts snapshot writes suppressed by
 	// SnapshotFail windows.
 	SnapshotFailures int
+	// BitFlips and WireCorruptions count armed silent-corruption
+	// injections (the integrity plane reports what it caught).
+	BitFlips, WireCorruptions int
 	// Survivors is the final world size.
 	Survivors int
 	// Recoveries lists every shrink, in order.
@@ -89,6 +100,13 @@ type recoveryRound struct {
 	arrived []bool
 	count   int
 	done    *sim.Completion
+}
+
+// wireCorruption is one armed CorruptWire event: a countdown of
+// checksummed transfers on a directed link, consumed exactly once.
+type wireCorruption struct {
+	src, dst  int
+	countdown int
 }
 
 // linkWindow is one active LinkDegrade interval.
@@ -123,6 +141,7 @@ type Plane struct {
 	links         []linkWindow
 	snapFailUntil sim.Time
 	snapFailOnce  bool
+	wires         []*wireCorruption
 
 	report Report
 }
@@ -208,8 +227,48 @@ func (pl *Plane) apply(ev Event) {
 		} else if until := now + ev.For; until > pl.snapFailUntil {
 			pl.snapFailUntil = until
 		}
+	case BitFlip:
+		if !pl.Alive(ev.Rank) {
+			return // nothing resident to corrupt
+		}
+		pl.report.Injected++
+		pl.report.BitFlips++
+		if fb, ok := pl.applier.(BitFlipper); ok {
+			fb.FlipBit(ev.Rank, ev.Word, ev.Bit)
+		}
+	case CorruptWire:
+		pl.report.Injected++
+		pl.report.WireCorruptions++
+		pl.wires = append(pl.wires, &wireCorruption{src: ev.Src, dst: ev.Dst, countdown: ev.N})
 	}
 }
+
+// WireCorrupt is the integrity plane's injection hook: called once per
+// checksummed transfer on the directed link src->dst, it counts down
+// every armed corruption on that link and reports whether this
+// transfer is the one a corruption lands on. Each armed event fires
+// exactly once.
+func (pl *Plane) WireCorrupt(src, dst int) bool {
+	hit := false
+	for _, wc := range pl.wires {
+		if wc.src != src || wc.dst != dst || wc.countdown <= 0 {
+			continue
+		}
+		wc.countdown--
+		if wc.countdown == 0 {
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Revoke revokes the communicator without a dead rank behind it — the
+// integrity plane's escalation path when a chunk stays corrupted past
+// its retry budget, and the watchdog's micro-rollback trigger. Every
+// fault-aware wait observes the revocation at its next deadline and
+// unwinds into the recovery rendezvous; with zero failed ranks the
+// release shrinks nothing and just re-runs the engine's rebuild hook.
+func (pl *Plane) Revoke() { pl.revoked = true }
 
 // Timeout returns the detection deadline for the given retry attempt:
 // the base quantum with capped exponential backoff, so healthy-but-

@@ -1,0 +1,72 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChecksumIncrementalMatchesRegion(t *testing.T) {
+	b := NewDataBuffer(64)
+	for i := range b.Data {
+		b.Data[i] = float32(i)*0.25 - 3
+	}
+	h := ChecksumSeed()
+	for _, v := range b.Data {
+		h = ChecksumWord(h, math.Float32bits(v))
+	}
+	if got := b.Checksum(); got != h {
+		t.Fatalf("Checksum = %#x, incremental fold = %#x", got, h)
+	}
+	// A split region fold continues from the prefix's state.
+	mid := ChecksumSeed()
+	for _, v := range b.Data[:20] {
+		mid = ChecksumWord(mid, math.Float32bits(v))
+	}
+	for _, v := range b.Data[20:] {
+		mid = ChecksumWord(mid, math.Float32bits(v))
+	}
+	if mid != h {
+		t.Fatalf("split fold = %#x, want %#x", mid, h)
+	}
+}
+
+func TestChecksumDetectsSingleBitFlips(t *testing.T) {
+	b := NewDataBuffer(16)
+	for i := range b.Data {
+		b.Data[i] = float32(i) + 0.5
+	}
+	want := b.Checksum()
+	for i := range b.Data {
+		for bit := 0; bit < 32; bit++ {
+			orig := b.Data[i]
+			b.Data[i] = math.Float32frombits(math.Float32bits(orig) ^ (1 << uint(bit)))
+			if b.Checksum() == want {
+				t.Fatalf("flip of bit %d in word %d undetected", bit, i)
+			}
+			b.Data[i] = orig
+		}
+	}
+	if b.Checksum() != want {
+		t.Fatal("restore left the buffer changed")
+	}
+}
+
+func TestChecksumPayloadFreeBufferIsSeed(t *testing.T) {
+	b := NewBuffer(1 << 20) // timing-mode buffer: bytes, no values
+	if got := b.Checksum(); got != ChecksumSeed() {
+		t.Fatalf("payload-free checksum = %#x, want seed %#x", got, ChecksumSeed())
+	}
+	if got := NewDataBuffer(0).Checksum(); got != ChecksumSeed() {
+		t.Fatalf("empty checksum = %#x, want seed %#x", got, ChecksumSeed())
+	}
+}
+
+func TestRegionChecksumComposesWithSlice(t *testing.T) {
+	b := NewDataBuffer(32)
+	for i := range b.Data {
+		b.Data[i] = float32(i) * 1.5
+	}
+	if got, want := b.RegionChecksum(8, 24), b.Slice(8, 24).Checksum(); got != want {
+		t.Fatalf("RegionChecksum(8,24) = %#x, Slice(8,24).Checksum() = %#x", got, want)
+	}
+}

@@ -7,17 +7,20 @@ import (
 	"go/types"
 )
 
-// The mpi pass enforces three pieces of request discipline:
+// The mpi pass enforces four pieces of request discipline:
 //
 //  1. lifecycle — every non-blocking call (Isend, Irecv, Ibcast,
 //     Ireduce, NewDeferredRequest) returns a *Request that must reach a
 //     Wait/Test (any later use counts) on every path; discarding the
 //     result or letting the variable die unexamined leaks the request
 //     and, under ULFM-style revocation, strands the completion;
-//  2. tags — message tags must be named constants (or expressions over
+//  2. integrity — a checksummed receive (RecvSummed) must reach its
+//     Verify on every path; a path that skips Verify silently accepts
+//     corrupted payloads, defeating the whole integrity plane;
+//  3. tags — message tags must be named constants (or expressions over
 //     them), never bare integer literals: two call sites inventing the
 //     same literal tag cross their matches silently;
-//  3. helper threads — closures handed to SpawnThread model the
+//  4. helper threads — closures handed to SpawnThread model the
 //     communication helper thread; issuing a blocking collective from
 //     one deadlocks the rank the moment the main thread enters the
 //     same collective.
@@ -30,6 +33,16 @@ func runMPI(pkg *Pkg, report func(pos token.Pos, msg string)) {
 		},
 		leakMsg: func(c string) string {
 			return fmt.Sprintf("request from %s does not reach Wait/Test on every path", c)
+		},
+	}, report)
+
+	runFlow(pkg, flowSpec{
+		creator: summedCreator,
+		discardMsg: func(c string) string {
+			return fmt.Sprintf("%s result discarded: the checksummed payload never reaches Verify and corruption passes silently", c)
+		},
+		leakMsg: func(c string) string {
+			return fmt.Sprintf("checksummed receive from %s does not reach Verify on every path", c)
 		},
 	}, report)
 
@@ -54,6 +67,15 @@ func requestCreator(pkg *Pkg, call *ast.CallExpr) string {
 		return "mpi." + fn.Name()
 	case funcFrom(fn, "scaffe/internal/coll", "Ireduce"):
 		return "coll.Ireduce"
+	}
+	return ""
+}
+
+// summedCreator names the checksummed-receive constructor.
+func summedCreator(pkg *Pkg, call *ast.CallExpr) string {
+	fn := calleeFunc(pkg, call)
+	if funcFrom(fn, "scaffe/internal/mpi", "RecvSummed") {
+		return "mpi." + fn.Name()
 	}
 	return ""
 }

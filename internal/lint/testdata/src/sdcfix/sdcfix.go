@@ -1,0 +1,45 @@
+// Package sdcfix seeds integrity violations of the mpi pass for the
+// golden fixture test: checksummed receives whose payload never
+// reaches Verify.
+package sdcfix
+
+import (
+	"scaffe/internal/gpu"
+	"scaffe/internal/mpi"
+)
+
+const fixTag = 7
+
+func discarded(r *mpi.Rank, c *mpi.Comm, buf *gpu.Buffer) {
+	r.RecvSummed(c, 1, fixTag, buf)     // want `mpi.RecvSummed result discarded`
+	_ = r.RecvSummed(c, 1, fixTag, buf) // want `mpi.RecvSummed result discarded`
+}
+
+func leakedOnReturn(r *mpi.Rank, c *mpi.Comm, buf *gpu.Buffer) {
+	s := r.RecvSummed(c, 1, fixTag, buf) // want `checksummed receive from mpi.RecvSummed does not reach Verify`
+	if buf.Bytes > 0 {
+		return
+	}
+	_ = s
+}
+
+func leakedOnOverwrite(r *mpi.Rank, c *mpi.Comm, buf *gpu.Buffer) {
+	s := r.RecvSummed(c, 1, fixTag, buf) // want `checksummed receive from mpi.RecvSummed does not reach Verify`
+	if buf.Bytes > 0 {
+		s = r.RecvSummed(c, 1, fixTag, buf)
+		s.Verify()
+	}
+}
+
+func wellBehaved(r *mpi.Rank, c *mpi.Comm, buf *gpu.Buffer) {
+	r.RecvSummed(c, 1, fixTag, buf).Verify() // chained: the idiomatic form
+
+	s := r.RecvSummed(c, 1, fixTag+1, buf)
+	s.Verify()
+
+	var late *mpi.Summed
+	if buf.Bytes > 0 {
+		late = r.RecvSummed(c, 1, fixTag, buf)
+	}
+	late.Verify() // nil-safe: unarmed receives return nil
+}

@@ -1,0 +1,116 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"scaffe/internal/gpu"
+)
+
+// The integrity plane's wire format. Every checksummed transfer is a
+// sequence of framed chunks:
+//
+//	magic(2) | seq(4, LE) | elems(4, LE) | sum(8, LE) | payload(4*elems, LE)
+//
+// The checksum is FNV-1a over 32-bit words (gpu.ChecksumWord) covering
+// seq, elems, and the payload, so a flip anywhere in the frame is
+// caught: magic and elems corruption fail structural decoding, seq,
+// sum, and payload corruption fail Verify. The in-simulator transfers
+// (Summed, ibcast edges) implement this discipline without
+// materializing bytes; Chunk is the byte-level contract the fuzz and
+// corruption-gallery tests pin down.
+const (
+	chunkMagic0 = 0x5C
+	chunkMagic1 = 0xAF
+
+	// ChunkHeaderLen is the framed size of a chunk with no payload.
+	ChunkHeaderLen = 18
+)
+
+// ErrChunk reports a structurally invalid chunk frame.
+var ErrChunk = errors.New("mpi: malformed chunk")
+
+// Chunk is one checksummed unit of a pipelined transfer.
+type Chunk struct {
+	Seq     uint32
+	Elems   uint32
+	Sum     uint64
+	Payload []float32
+}
+
+// SealChunk stamps a payload with its sequence number and checksum.
+func SealChunk(seq uint32, payload []float32) Chunk {
+	c := Chunk{Seq: seq, Elems: uint32(len(payload)), Payload: payload}
+	c.Sum = c.checksum()
+	return c
+}
+
+func (c *Chunk) checksum() uint64 {
+	h := gpu.ChecksumSeed()
+	h = gpu.ChecksumWord(h, c.Seq)
+	h = gpu.ChecksumWord(h, c.Elems)
+	for _, v := range c.Payload {
+		h = gpu.ChecksumWord(h, math.Float32bits(v))
+	}
+	return h
+}
+
+// Verify reports whether the chunk's payload still matches its seal.
+func (c *Chunk) Verify() bool {
+	return uint32(len(c.Payload)) == c.Elems && c.checksum() == c.Sum
+}
+
+// Marshal frames the chunk for the wire.
+func (c *Chunk) Marshal() []byte {
+	b := make([]byte, ChunkHeaderLen+4*len(c.Payload))
+	b[0], b[1] = chunkMagic0, chunkMagic1
+	putUint32(b[2:], c.Seq)
+	putUint32(b[6:], c.Elems)
+	putUint64(b[10:], c.Sum)
+	for i, v := range c.Payload {
+		putUint32(b[ChunkHeaderLen+4*i:], math.Float32bits(v))
+	}
+	return b
+}
+
+// UnmarshalChunk decodes one framed chunk. It fails on truncated or
+// oversized frames, a bad magic, or an element count that disagrees
+// with the frame length; checksum mismatches are left for Verify so
+// callers can distinguish framing damage from payload damage.
+func UnmarshalChunk(b []byte) (Chunk, error) {
+	if len(b) < ChunkHeaderLen {
+		return Chunk{}, fmt.Errorf("%w: %d bytes, need at least %d", ErrChunk, len(b), ChunkHeaderLen)
+	}
+	if b[0] != chunkMagic0 || b[1] != chunkMagic1 {
+		return Chunk{}, fmt.Errorf("%w: bad magic %#02x%02x", ErrChunk, b[0], b[1])
+	}
+	c := Chunk{Seq: getUint32(b[2:]), Elems: getUint32(b[6:]), Sum: getUint64(b[10:])}
+	if payload := len(b) - ChunkHeaderLen; payload%4 != 0 || uint64(c.Elems) != uint64(payload/4) {
+		return Chunk{}, fmt.Errorf("%w: header claims %d elems, frame carries %d payload bytes", ErrChunk, c.Elems, payload)
+	}
+	if c.Elems > 0 {
+		c.Payload = make([]float32, c.Elems)
+		for i := range c.Payload {
+			c.Payload[i] = math.Float32frombits(getUint32(b[ChunkHeaderLen+4*i:]))
+		}
+	}
+	return c, nil
+}
+
+func putUint32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putUint64(b []byte, v uint64) {
+	putUint32(b, uint32(v))
+	putUint32(b[4:], uint32(v>>32))
+}
+
+func getUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func getUint64(b []byte) uint64 {
+	return uint64(getUint32(b)) | uint64(getUint32(b[4:]))<<32
+}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"math"
 
 	"scaffe/internal/gpu"
 	"scaffe/internal/sim"
@@ -174,18 +175,94 @@ func (op *bcastOp) scheduleEdge(w *World, parent, child int) {
 		if src, dst := op.postBuf[parent], op.postBuf[child]; src != nil && dst != nil {
 			dst.CopyFrom(src)
 		}
-		op.reqs[child].Done.Fire()
-		op.markReady(w, child, w.K.Now())
-		if isRootEdge {
-			op.rootSends--
-			if op.rootSends == 0 && !op.rootCompleted {
-				op.rootCompleted = true
-				op.reqs[op.root].Done.Fire()
-			}
+		if w.integrityArmed() {
+			op.verifyEdge(w, parent, child, 0, isRootEdge)
+			return
 		}
-		if op.complete() {
-			delete(w.bcastOps, op.key)
+		op.commitEdge(w, child, isRootEdge)
+	})
+}
+
+// commitEdge records a delivered parent->child edge: the child's
+// request fires, its buffer becomes a source for its own children, and
+// the root's request fires once its last child edge lands.
+func (op *bcastOp) commitEdge(w *World, child int, isRootEdge bool) {
+	op.reqs[child].Done.Fire()
+	op.markReady(w, child, w.K.Now())
+	if isRootEdge {
+		op.rootSends--
+		if op.rootSends == 0 && !op.rootCompleted {
+			op.rootCompleted = true
+			op.reqs[op.root].Done.Fire()
 		}
+	}
+	if op.complete() {
+		delete(w.bcastOps, op.key)
+	}
+}
+
+// verifyEdge is commitEdge behind a checksum: it applies any armed
+// wire corruption on the link, compares the child's payload against
+// the parent's, and either commits, retransmits (recover mode, within
+// budget), or escalates by revoking the communicator. It runs in
+// kernel context, so escalation cannot panic — the waiting ranks
+// observe the revocation through their deadline-sliced waits.
+func (op *bcastOp) verifyEdge(w *World, parent, child, try int, isRootEdge bool) {
+	integ := w.Integrity
+	from, to := op.c.rankAt(parent), op.c.rankAt(child)
+	dst := op.postBuf[child]
+	detected := false
+	if integ.WireCorrupt != nil && integ.WireCorrupt(from.ID, to.ID) {
+		detected = true // timing mode: poison marker only
+		if dst != nil && len(dst.Data) > 0 {
+			dst.Data[0] = math.Float32frombits(math.Float32bits(dst.Data[0]) ^ 1<<30)
+		}
+	}
+	if dst != nil && dst.Data != nil {
+		if src := op.postBuf[parent]; src != nil && src.Data != nil {
+			detected = src.Checksum() != dst.Checksum()
+		}
+	}
+	if !detected {
+		integ.Verified++
+		op.commitEdge(w, child, isRootEdge)
+		return
+	}
+	integ.Detected++
+	if integ.Mode == IntegrityDetect {
+		// Observe-only: the corrupted payload flows down the tree.
+		op.commitEdge(w, child, isRootEdge)
+		return
+	}
+	if try >= integ.RetryBudget {
+		integ.Escalations++
+		if pl := w.Fault; pl != nil {
+			// Leave the edge uncommitted: every rank blocked on this
+			// broadcast times out against the revoked plane and
+			// unwinds into the recovery rendezvous.
+			pl.Revoke()
+			return
+		}
+		// No fault plane to escalate to; deliver the damaged payload
+		// rather than deadlock the world.
+		op.commitEdge(w, child, isRootEdge)
+		return
+	}
+	integ.Retransmits++
+	op.retransmitEdge(w, parent, child, try+1, isRootEdge)
+}
+
+// retransmitEdge books a fresh parent->child transfer of the same
+// payload and re-verifies on landing. The parent's buffer is stable
+// for the life of the op, so re-copying it restores the clean bytes.
+func (op *bcastOp) retransmitEdge(w *World, parent, child, try int, isRootEdge bool) {
+	from, to := op.c.rankAt(parent), op.c.rankAt(child)
+	_, end := w.Cluster.Transfer(w.K.Now(), from.Dev.ID, to.Dev.ID, op.bytes, op.mode)
+	w.K.At(end, func() {
+		if src, dst := op.postBuf[parent], op.postBuf[child]; src != nil && dst != nil {
+			dst.CopyFrom(src)
+		}
+		op.verifyEdge(w, parent, child, try, isRootEdge)
 	})
 }
 

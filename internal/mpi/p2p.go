@@ -36,6 +36,9 @@ type Request struct {
 	// deferred, when non-nil, is executed inside Wait — used for
 	// CPU-progressed operations like Ireduce.
 	deferred func()
+	// summed, when non-nil, records the delivered payload's checksum
+	// for the integrity plane (see RecvSummed).
+	summed *Summed
 }
 
 // Wait blocks the rank until the request completes. For deferred
@@ -118,9 +121,13 @@ func (r *Rank) Isend(c *Comm, to, tag int, buf *gpu.Buffer, mode topology.Transf
 // Irecv posts a non-blocking receive into buf from group rank `from`
 // of comm c with the given tag.
 func (r *Rank) Irecv(c *Comm, from, tag int, buf *gpu.Buffer) *Request {
+	return r.irecv(c, from, tag, buf, nil)
+}
+
+func (r *Rank) irecv(c *Comm, from, tag int, buf *gpu.Buffer, s *Summed) *Request {
 	r.ftCheck()
 	src := c.rankAt(from)
-	req := &Request{Done: r.W.K.NewCompletion(), buf: buf}
+	req := &Request{Done: r.W.K.NewCompletion(), buf: buf, summed: s}
 	key := matchKey{comm: c.id, src: src.ID, tag: tag}
 
 	if unex := r.unexpected[key]; len(unex) > 0 {
@@ -152,6 +159,9 @@ func (r *Rank) startTransfer(at sim.Time, dst *Rank, src *gpu.Buffer, recvReq, s
 	k := r.W.K
 	k.At(end, func() {
 		recvReq.buf.CopyFrom(src)
+		if s := recvReq.summed; s != nil {
+			s.deliver(r, mode)
+		}
 		recvReq.Done.Fire()
 		sendReq.Done.Fire()
 	})

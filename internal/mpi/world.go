@@ -33,6 +33,11 @@ type World struct {
 	// (see fault.go). Nil runs the exact fault-free code paths.
 	Fault *fault.Plane
 
+	// Integrity, when non-nil with a mode other than IntegrityOff,
+	// arms per-chunk checksums on RecvSummed receives and broadcast
+	// edges (see integrity.go). Nil runs the exact seed code paths.
+	Integrity *Integrity
+
 	nextCommID int
 	bcastOps   map[bcastKey]*bcastOp
 }

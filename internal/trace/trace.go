@@ -140,6 +140,7 @@ var phaseGlyphs = map[string]byte{
 	"update":      'U',
 	"bcast-wire":  'w',
 	"recovery":    'R',
+	"rollback":    'r',
 }
 
 // Gantt renders an ASCII timeline, one row per rank, `width` columns

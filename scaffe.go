@@ -156,12 +156,37 @@ type FaultReport = fault.Report
 // FaultRecovery describes one detected failure and its recovery.
 type FaultRecovery = fault.Recovery
 
+// IntegrityMode arms the silent-data-corruption plane (Config.Integrity):
+// checksummed collective transfers plus the root's numeric-health
+// watchdog with micro-rollback.
+type IntegrityMode = core.IntegrityMode
+
+// The integrity plane's modes.
+const (
+	// IntegrityOff runs the exact seed code paths.
+	IntegrityOff = core.IntegrityOff
+	// IntegrityDetect verifies and counts corruption without altering
+	// the run.
+	IntegrityDetect = core.IntegrityDetect
+	// IntegrityRecover retransmits corrupted chunks and micro-rolls-
+	// back watchdog trips.
+	IntegrityRecover = core.IntegrityRecover
+)
+
+// IntegrityReport summarizes the integrity plane's run
+// (Result.Integrity).
+type IntegrityReport = core.IntegrityReport
+
 // LoadFaultSchedule reads a fault-schedule file (one event per line,
 // e.g. "100ms crash rank=3"; see configs/faults_demo.txt).
 func LoadFaultSchedule(path string) (FaultSchedule, error) { return fault.LoadSchedule(path) }
 
 // ParseFaultSchedule parses the textual schedule format.
 func ParseFaultSchedule(text string) (FaultSchedule, error) { return fault.ParseSchedule(text) }
+
+// ParseIntegrityMode parses the CLI spelling of an integrity mode:
+// "off" (or empty), "detect", or "recover".
+func ParseIntegrityMode(s string) (IntegrityMode, error) { return core.ParseIntegrityMode(s) }
 
 // NewTrace returns an empty timeline recorder.
 func NewTrace() *Trace { return trace.New() }

@@ -37,5 +37,6 @@ echo "== fuzz smoke =="
 # -fuzztime as needed.
 go test -run '^$' -fuzz FuzzSnapshotDecode -fuzztime 5s ./internal/core
 go test -run '^$' -fuzz FuzzParse -fuzztime 5s ./internal/proto
+go test -run '^$' -fuzz FuzzChunkChecksum -fuzztime 5s ./internal/mpi
 
 echo "== OK =="
