@@ -190,6 +190,35 @@ func BenchmarkAblationDesigns(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleSweep measures wall-clock cost and steady-state
+// allocations of GoogLeNet training as the rank count grows past the
+// paper's 160-GPU testbed — the scale-out axis the pooled event kernel
+// and calendar queue exist for. Each point reports its rank count as a
+// metric so the recorded benchmark JSON carries the scale alongside
+// ns/op and allocs/op.
+func BenchmarkScaleSweep(b *testing.B) {
+	for _, ranks := range []int{160, 512, 1024} {
+		b.Run(name("ranks", ranks), func(b *testing.B) {
+			var total sim.Time
+			for i := 0; i < b.N; i++ {
+				res, err := Train(Config{
+					Spec: MustModel("googlenet"), GPUs: ranks,
+					Nodes: (ranks + 15) / 16, GPUsPerNode: 16,
+					GlobalBatch: 4 * ranks, Iterations: 2,
+					Design: SCOB, Reduce: ReduceHR, Source: InMemory, Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total = res.TotalTime
+			}
+			b.ReportAllocs()
+			b.ReportMetric(float64(ranks), "ranks")
+			b.ReportMetric(total.Milliseconds(), "virtual-ms/op")
+		})
+	}
+}
+
 // BenchmarkSchedulerOverhead measures the wall-clock cost of running
 // one SC-OB iteration through the DAG iteration scheduler. The virtual
 // time is pinned to the value the seed's hand-written loop produced for

@@ -13,7 +13,8 @@ import (
 // operand therefore only returns to GPU memory once, at the root,
 // after the last round. This is the "MV2" series of Figures 11–12.
 type mv2Reducer struct {
-	c *mpi.Comm
+	c      *mpi.Comm
+	states stateTable
 }
 
 func (m *mv2Reducer) Name() string { return "MV2" }
@@ -24,11 +25,16 @@ func (m *mv2Reducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 	if size == 1 {
 		return
 	}
+	st := m.states.acquire(size, me)
+	defer st.release()
 	cl := r.W.Cluster
 	var scratch *gpu.Buffer
 	received := false
 	for mask := 1; mask < size; mask <<= 1 {
 		if me&mask != 0 {
+			if scratch != nil {
+				st.putScratch(scratch)
+			}
 			r.Send(m.c, me-mask, tag, buf, topology.ModePipelined)
 			return
 		}
@@ -37,7 +43,7 @@ func (m *mv2Reducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 			continue
 		}
 		if scratch == nil {
-			scratch = newLike(buf)
+			scratch = st.getScratch(buf)
 		}
 		r.Recv(m.c, peer, tag, scratch)
 		if !received {
@@ -49,6 +55,9 @@ func (m *mv2Reducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 		}
 		buf.Accumulate(scratch)
 		r.Sleep(cl.ReduceTime(buf.Bytes, false)) // CPU reduction
+	}
+	if scratch != nil {
+		st.putScratch(scratch)
 	}
 	if received && me == 0 {
 		// Root uploads the final result back to its device.
@@ -65,7 +74,8 @@ func (m *mv2Reducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 // Serializing 159 staged 256 MB messages through the root is what
 // produces the up-to-133x gap of Figure 12.
 type ompiReducer struct {
-	c *mpi.Comm
+	c      *mpi.Comm
+	states stateTable
 }
 
 func (o *ompiReducer) Name() string { return "OpenMPI" }
@@ -80,13 +90,16 @@ func (o *ompiReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 		r.Send(o.c, 0, tag, buf, topology.ModeStaged)
 		return
 	}
+	st := o.states.acquire(size, me)
+	defer st.release()
 	cl := r.W.Cluster
-	scratch := newLike(buf)
+	scratch := st.getScratch(buf)
 	for peer := 1; peer < size; peer++ {
 		r.Recv(o.c, peer, tag, scratch)
 		buf.Accumulate(scratch)
 		r.Sleep(cl.ReduceTime(buf.Bytes, false)) // CPU reduction
 	}
+	st.putScratch(scratch)
 	// Result returns to the device.
 	_, end := cl.Transfer(r.Now(), topology.HostOf(r.Dev.ID.Node), r.Dev.ID, buf.Bytes, topology.ModeAuto)
 	r.Proc.WaitUntil(end)

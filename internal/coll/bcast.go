@@ -14,16 +14,23 @@ import (
 // as the paper's chained reduce, applied to propagation. Works for any
 // communicator size and root. Tags tag..tag+P are reserved.
 func BcastScatterAllgather(c *mpi.Comm, r *mpi.Rank, root int, buf *gpu.Buffer, tag int, mode topology.TransferMode) {
+	bcastScatterAllgather(c, r, root, buf, tag, mode, nil)
+}
+
+// bsagBoundary returns the starting element of contiguous segment i
+// when elems elements are split across size ranks.
+func bsagBoundary(size, elems, i int) int { return i * elems / size }
+
+// bcastScatterAllgather is the state-threaded implementation; a nil
+// state falls back to transient view allocation.
+func bcastScatterAllgather(c *mpi.Comm, r *mpi.Rank, root int, buf *gpu.Buffer, tag int, mode topology.TransferMode, st *rankState) {
 	size := c.Size()
 	if size == 1 {
 		return
 	}
 	me := c.Rank(r)
 	rel := (me - root + size) % size
-	abs := func(relRank int) int { return (relRank + root) % size }
 	elems := buf.Elems()
-	boundary := func(i int) int { return i * elems / size }
-	segment := func(lo, hi int) *gpu.Buffer { return buf.Slice(boundary(lo), boundary(hi)) }
 
 	// Binomial scatter: node `rel` with entry bit B covers segments
 	// [rel, min(rel+B, size)); its children rel+m (m = B/2, B/4, ...)
@@ -39,8 +46,9 @@ func BcastScatterAllgather(c *mpi.Comm, r *mpi.Rank, root int, buf *gpu.Buffer, 
 		if hi > size {
 			hi = size
 		}
-		if boundary(rel) < boundary(hi) {
-			r.RecvSummed(c, abs(parent), tag, segment(rel, hi)).Verify()
+		blo, bhi := bsagBoundary(size, elems, rel), bsagBoundary(size, elems, hi)
+		if blo < bhi {
+			r.RecvSummed(c, (parent+root)%size, tag, st.view(buf, blo, bhi)).Verify()
 		}
 		entryBit = bit
 	}
@@ -53,23 +61,26 @@ func BcastScatterAllgather(c *mpi.Comm, r *mpi.Rank, root int, buf *gpu.Buffer, 
 		if hi > size {
 			hi = size
 		}
-		if boundary(child) < boundary(hi) {
-			r.Send(c, abs(child), tag, segment(child, hi), mode)
+		blo, bhi := bsagBoundary(size, elems, child), bsagBoundary(size, elems, hi)
+		if blo < bhi {
+			r.Send(c, (child+root)%size, tag, st.view(buf, blo, bhi), mode)
 		}
 	}
 
 	// Ring allgather: after P−1 steps every rank holds every segment.
-	left := abs((rel - 1 + size) % size)
-	right := abs((rel + 1) % size)
+	left := ((rel-1+size)%size + root) % size
+	right := ((rel+1)%size + root) % size
 	for step := 0; step < size-1; step++ {
 		sendSeg := ((rel-step)%size + size) % size
 		recvSeg := ((rel-step-1)%size + size) % size
 		var sreq *mpi.Request
-		if boundary(sendSeg) < boundary(sendSeg+1) {
-			sreq = r.Isend(c, right, tag+1+step, segment(sendSeg, sendSeg+1), mode)
+		slo, shi := bsagBoundary(size, elems, sendSeg), bsagBoundary(size, elems, sendSeg+1)
+		if slo < shi {
+			sreq = r.Isend(c, right, tag+1+step, st.view(buf, slo, shi), mode)
 		}
-		if boundary(recvSeg) < boundary(recvSeg+1) {
-			r.RecvSummed(c, left, tag+1+step, segment(recvSeg, recvSeg+1)).Verify()
+		rlo, rhi := bsagBoundary(size, elems, recvSeg), bsagBoundary(size, elems, recvSeg+1)
+		if rlo < rhi {
+			r.RecvSummed(c, left, tag+1+step, st.view(buf, rlo, rhi)).Verify()
 		}
 		if sreq != nil {
 			r.Wait(sreq)

@@ -144,7 +144,7 @@ func NewReducer(c *mpi.Comm, alg Algorithm, o Options) Reducer {
 	case OpenMPIBaseline:
 		return &ompiReducer{c: c}
 	case Rabenseifner:
-		return &rsgReducer{c: c, o: o}
+		return newRSGReducer(c, o)
 	}
 	panic(fmt.Sprintf("coll: unknown algorithm %d", int(alg)))
 }

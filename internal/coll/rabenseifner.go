@@ -15,12 +15,23 @@ import (
 //
 // Tags tag..tag+1 are reserved.
 func ReduceScatterGather(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o Options) {
+	reduceScatterGather(c, r, buf, tag, o, nil, nil)
+}
+
+// reduceScatterGather is the state-threaded implementation behind both
+// the exported one-shot entry point (nil state: transient allocations)
+// and rsgReducer (per-rank reusable state). fallback handles
+// non-power-of-two sizes; when nil a transient chain reducer is built.
+func reduceScatterGather(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o Options, st *rankState, fallback Reducer) {
 	size := c.Size()
 	if size == 1 {
 		return
 	}
 	if size&(size-1) != 0 {
-		(&chainReducer{c: c, o: o}).Reduce(r, buf, tag)
+		if fallback == nil {
+			fallback = &chainReducer{c: c, o: o}
+		}
+		fallback.Reduce(r, buf, tag)
 		return
 	}
 	me := c.Rank(r)
@@ -40,61 +51,80 @@ func ReduceScatterGather(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o O
 		} else {
 			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
 		}
-		scratch := newLike(buf.Slice(keepLo, keepHi))
-		sreq := r.Isend(c, peer, tag, buf.Slice(sendLo, sendHi), o.Mode)
+		keep := st.view(buf, keepLo, keepHi)
+		scratch := st.getScratch(keep)
+		sreq := r.Isend(c, peer, tag, st.view(buf, sendLo, sendHi), o.Mode)
 		r.RecvSummed(c, peer, tag, scratch).Verify()
-		keep := buf.Slice(keepLo, keepHi)
 		localReduce(r, keep, scratch, o)
+		st.putScratch(scratch)
 		r.Wait(sreq)
 		lo, hi = keepLo, keepHi
 	}
 
 	// Binomial gather of the scattered segments to root. Segment
-	// ownership after halving is contiguous by rank; segStart replays
-	// the split sequence so both sides of every transfer agree on the
-	// exact (possibly uneven) extents. At gather round `mask`, a rank
-	// with (me & mask) != 0 sends everything it has collected —
+	// ownership after halving is contiguous by rank; rsgSegStart
+	// replays the split sequence so both sides of every transfer agree
+	// on the exact (possibly uneven) extents. At gather round `mask`, a
+	// rank with (me & mask) != 0 sends everything it has collected —
 	// segments [me, me+mask) — to me-mask.
-	segStart := func(p int) int {
-		if p >= size {
-			return elems
-		}
-		slo, shi := 0, elems
-		for dist := size / 2; dist >= 1; dist /= 2 {
-			mid := slo + (shi-slo)/2
-			if p&dist == 0 {
-				shi = mid
-			} else {
-				slo = mid
-			}
-		}
-		return slo
-	}
 	for mask := 1; mask < size; mask <<= 1 {
 		if me&mask != 0 {
-			r.Send(c, me-mask, tag+1, buf.Slice(segStart(me), segStart(me+mask)), o.Mode)
+			slo, shi := rsgSegStart(size, elems, me), rsgSegStart(size, elems, me+mask)
+			r.Send(c, me-mask, tag+1, st.view(buf, slo, shi), o.Mode)
 			return
 		}
 		peer := me + mask
 		if peer >= size {
 			continue
 		}
-		peerLo, peerHi := segStart(peer), segStart(peer+mask)
+		peerLo, peerHi := rsgSegStart(size, elems, peer), rsgSegStart(size, elems, peer+mask)
 		if peerLo >= peerHi {
 			continue
 		}
-		r.RecvSummed(c, peer, tag+1, buf.Slice(peerLo, peerHi)).Verify()
+		r.RecvSummed(c, peer, tag+1, st.view(buf, peerLo, peerHi)).Verify()
 	}
 }
 
-// rsgReducer adapts ReduceScatterGather to the Reducer interface.
+// rsgSegStart returns the starting element of rank p's scattered
+// segment by replaying the recursive-halving split sequence.
+func rsgSegStart(size, elems, p int) int {
+	if p >= size {
+		return elems
+	}
+	slo, shi := 0, elems
+	for dist := size / 2; dist >= 1; dist /= 2 {
+		mid := slo + (shi-slo)/2
+		if p&dist == 0 {
+			shi = mid
+		} else {
+			slo = mid
+		}
+	}
+	return slo
+}
+
+// rsgReducer adapts ReduceScatterGather to the Reducer interface,
+// carrying per-rank scratch state and a construction-time chain
+// fallback for non-power-of-two communicators.
 type rsgReducer struct {
-	c *mpi.Comm
-	o Options
+	c        *mpi.Comm
+	o        Options
+	states   stateTable
+	fallback Reducer
+}
+
+func newRSGReducer(c *mpi.Comm, o Options) *rsgReducer {
+	x := &rsgReducer{c: c, o: o}
+	if s := c.Size(); s > 1 && s&(s-1) != 0 {
+		x.fallback = &chainReducer{c: c, o: o}
+	}
+	return x
 }
 
 func (x *rsgReducer) Name() string { return "RSG" }
 
 func (x *rsgReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
-	ReduceScatterGather(x.c, r, buf, tag, x.o)
+	st := x.states.acquire(x.c.Size(), x.c.Rank(r))
+	defer st.release()
+	reduceScatterGather(x.c, r, buf, tag, x.o, st, x.fallback)
 }

@@ -10,21 +10,28 @@ import (
 // binomialReducer implements the flat binomial-tree reduce of Eq. (1):
 // log2(P) rounds, each moving and reducing the full buffer.
 type binomialReducer struct {
-	c *mpi.Comm
-	o Options
+	c      *mpi.Comm
+	o      Options
+	states stateTable
 }
 
 func (b *binomialReducer) Name() string { return "binomial" }
 
+//scaffe:hotpath
 func (b *binomialReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 	me := b.c.Rank(r)
 	size := b.c.Size()
 	if size == 1 {
 		return
 	}
+	st := b.states.acquire(size, me)
+	defer st.release()
 	var scratch *gpu.Buffer
 	for mask := 1; mask < size; mask <<= 1 {
 		if me&mask != 0 {
+			if scratch != nil {
+				st.putScratch(scratch)
+			}
 			r.Send(b.c, me-mask, tag, buf, b.o.Mode)
 			return
 		}
@@ -33,10 +40,13 @@ func (b *binomialReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 			continue
 		}
 		if scratch == nil {
-			scratch = newLike(buf)
+			scratch = st.getScratch(buf)
 		}
 		r.RecvSummed(b.c, peer, tag, scratch).Verify()
 		localReduce(r, buf, scratch, b.o)
+	}
+	if scratch != nil {
+		st.putScratch(scratch)
 	}
 }
 
@@ -45,8 +55,9 @@ func (b *binomialReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 // rank receives a chunk from its right neighbour, reduces it into its
 // own copy, and forwards it left; the pipeline drains at the root.
 type chainReducer struct {
-	c *mpi.Comm
-	o Options
+	c      *mpi.Comm
+	o      Options
+	states stateTable
 }
 
 func (cr *chainReducer) Name() string { return "chain" }
@@ -57,56 +68,56 @@ func (cr *chainReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 	if size == 1 {
 		return
 	}
+	st := cr.states.acquire(size, me)
+	defer st.release()
 	n := defaultChunks(buf.Bytes, cr.o.Chunks)
 	elems := buf.Elems()
-	chunkOf := func(j int) (lo, hi int) {
-		per := (elems + n - 1) / n
-		lo = j * per
-		hi = lo + per
-		if hi > elems {
-			hi = elems
-		}
-		return
-	}
 
 	switch {
 	case me == size-1: // tail: source of the pipeline
-		var sreqs []*mpi.Request
+		sreqs := st.takeReqs()
 		for j := 0; j < n; j++ {
-			lo, hi := chunkOf(j)
+			lo, hi := chunkBounds(elems, n, j)
 			if lo >= hi {
 				continue
 			}
-			sreqs = append(sreqs, r.Isend(cr.c, me-1, tag, buf.Slice(lo, hi), cr.o.Mode))
+			sreqs = append(sreqs, r.Isend(cr.c, me-1, tag, st.view(buf, lo, hi), cr.o.Mode))
 		}
 		r.WaitAll(sreqs...)
+		st.storeReqs(sreqs)
 
 	case me == 0: // root: sink of the pipeline
 		for j := 0; j < n; j++ {
-			lo, hi := chunkOf(j)
+			lo, hi := chunkBounds(elems, n, j)
 			if lo >= hi {
 				continue
 			}
-			tmp := buf.Slice(lo, hi)
-			scratch := newLike(tmp)
+			tmp := st.view(buf, lo, hi)
+			scratch := st.getScratch(tmp)
 			r.RecvSummed(cr.c, 1, tag, scratch).Verify()
 			localReduce(r, tmp, scratch, cr.o)
+			st.putScratch(scratch)
 		}
 
 	default: // interior: receive, reduce, forward
-		var sreqs []*mpi.Request
+		sreqs := st.takeReqs()
 		for j := 0; j < n; j++ {
-			lo, hi := chunkOf(j)
+			lo, hi := chunkBounds(elems, n, j)
 			if lo >= hi {
 				continue
 			}
-			mine := buf.Slice(lo, hi)
-			scratch := newLike(mine)
+			mine := st.view(buf, lo, hi)
+			scratch := st.getScratch(mine)
 			r.RecvSummed(cr.c, me+1, tag, scratch).Verify()
 			localReduce(r, mine, scratch, cr.o)
+			// The scratch is free for the next chunk right away: the
+			// in-flight forward below sends `mine` (a view of buf),
+			// never the scratch.
+			st.putScratch(scratch)
 			sreqs = append(sreqs, r.Isend(cr.c, me-1, tag, mine, cr.o.Mode))
 		}
 		r.WaitAll(sreqs...)
+		st.storeReqs(sreqs)
 	}
 }
 

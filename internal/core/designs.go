@@ -247,10 +247,14 @@ func (st *runState) addPostPropagation(g *sched.Graph, r *mpi.Rank, w *workload)
 			slots[l].Put(req)
 			drain.Put(req)
 			if st.cfg.Trace != nil {
-				req := req
 				post, label, rank := x.P.Now(), fmt.Sprintf("bcast:%d", l), r.ID
 				req.OnComplete(func() {
-					st.cfg.Trace.AddNode(rank, "bcast-wire", label, post, req.CompletedAt())
+					// The hook runs in kernel context at completion
+					// time, so the current virtual time IS the
+					// completion time — and unlike req.CompletedAt()
+					// it stays correct after the pooled request is
+					// recycled by a later operation.
+					st.cfg.Trace.AddNode(rank, "bcast-wire", label, post, r.Now())
 				})
 			}
 		}

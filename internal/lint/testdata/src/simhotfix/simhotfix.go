@@ -1,0 +1,72 @@
+// Package simhotfix seeds hotpath-pass violations in the shape the
+// event-kernel refactor removed from the real tree: pooled records
+// whose get path allocates instead of recycling, completion fires that
+// capture closures, and generation counters boxed through interfaces.
+// The cold twins repeat the constructs without diagnostics, matching
+// the convention that pool-miss paths live in unannotated helpers.
+package simhotfix
+
+import "fmt"
+
+type completion struct {
+	gen   uint64
+	fired bool
+}
+
+type request struct {
+	done completion
+	next *request
+}
+
+type rank struct {
+	pool    []*request
+	pending []func()
+}
+
+//scaffe:hotpath
+func getRequestLeaky(r *rank) *request {
+	if len(r.pool) == 0 {
+		return &request{} // want `&T\{\} escapes to the heap`
+	}
+	req := r.pool[len(r.pool)-1]
+	r.pool = r.pool[:len(r.pool)-1]
+	return req
+}
+
+//scaffe:hotpath
+func fireLeaky(r *rank, req *request) {
+	req.done.fired = true
+	r.pending = append(r.pending, func() { req.done.gen++ }) // want `append may grow` `function literal`
+}
+
+func trace(args ...interface{}) { _ = args }
+
+//scaffe:hotpath
+func snapshotLeaky(req *request) {
+	trace(req.done.gen) // want `boxes it on the heap`
+	if req.next != nil {
+		panic(fmt.Sprintf("request %p still queued", req)) // panic path: exempt
+	}
+}
+
+//scaffe:hotpath
+func getRequestClean(r *rank) *request {
+	if len(r.pool) == 0 {
+		return newRequest() // pool-miss path lives in a cold helper
+	}
+	req := r.pool[len(r.pool)-1]
+	r.pool[len(r.pool)-1] = nil
+	r.pool = r.pool[:len(r.pool)-1]
+	req.done.gen++
+	req.done.fired = false
+	return req
+}
+
+func newRequest() *request { // unannotated: the miss path may allocate
+	return &request{}
+}
+
+func putRequest(r *rank, req *request) { // unannotated: release may grow the pool
+	req.next = nil
+	r.pool = append(r.pool, req)
+}

@@ -119,6 +119,12 @@ func (c *Comm) SplitChains(chainSize int) (chains []*Comm, leaders *Comm) {
 	return chains, c.Sub(leaderRanks)
 }
 
+// barrierBuf is the shared zero-byte payload of every barrier
+// exchange: the messages carry no data, so all ranks (and both ends of
+// each exchange) can use one immutable buffer instead of allocating
+// two per round.
+var barrierBuf = gpu.NewBuffer(0)
+
 // Barrier synchronizes all ranks of c with a dissemination barrier
 // (ceil(log2 P) rounds of zero-byte exchanges). Every member must call
 // it.
@@ -133,8 +139,8 @@ func (c *Comm) Barrier(r *Rank) {
 		to := (me + dist) % size
 		from := (me - dist + size) % size
 		tag := tagBarrier + round
-		rreq := r.Irecv(c, from, tag, gpu.NewBuffer(0))
-		sreq := r.Isend(c, to, tag, gpu.NewBuffer(0), topology.ModeHost)
+		rreq := r.Irecv(c, from, tag, barrierBuf)
+		sreq := r.Isend(c, to, tag, barrierBuf, topology.ModeHost)
 		r.Wait(rreq)
 		r.Wait(sreq)
 		round++

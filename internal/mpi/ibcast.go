@@ -16,6 +16,13 @@ import (
 // SC-OB its overlap. Matching across ranks follows MPI semantics:
 // the i-th Ibcast call on a communicator at every rank belongs to the
 // same operation.
+//
+// Operation records and their per-rank slices are pooled on the world,
+// and tree edges are scheduled as pooled sim.Runnable records, so a
+// steady-state broadcast allocates nothing. Completion is tracked by
+// posted/fired counters instead of scanning requests: a rank's request
+// may be waited, released, and recycled long before the op's other
+// subtrees drain, so the op must never read a request after firing it.
 
 type bcastKey struct {
 	comm int
@@ -35,9 +42,60 @@ type bcastOp struct {
 	readyAt []sim.Time
 	reqs    []*Request
 
+	postedCount int // ranks that have posted their call
+	firedCount  int // requests fired (each rank's exactly once)
+
 	rootSends     int // children edges not yet scheduled from the root
-	rootLastSend  sim.Time
 	rootCompleted bool
+}
+
+// getBcastOp draws an n-rank operation record from the world free
+// list, clearing recycled per-rank state; the miss/regrow path lives
+// in growBcastOp.
+//
+//scaffe:hotpath
+func (w *World) getBcastOp(n int) *bcastOp {
+	var op *bcastOp
+	if m := len(w.bcastPool); m > 0 {
+		op = w.bcastPool[m-1]
+		w.bcastPool[m-1] = nil
+		w.bcastPool = w.bcastPool[:m-1]
+	}
+	if op == nil || cap(op.posted) < n {
+		op = growBcastOp(op, n)
+	} else {
+		op.posted = op.posted[:n]
+		op.postBuf = op.postBuf[:n]
+		op.ready = op.ready[:n]
+		op.readyAt = op.readyAt[:n]
+		op.reqs = op.reqs[:n]
+		for i := 0; i < n; i++ {
+			op.posted[i], op.ready[i] = false, false
+			op.postBuf[i], op.reqs[i] = nil, nil
+			op.readyAt[i] = 0
+		}
+	}
+	op.postedCount, op.firedCount = 0, 0
+	op.rootSends, op.rootCompleted = 0, false
+	return op
+}
+
+// growBcastOp allocates the per-rank slices for an n-rank op.
+func growBcastOp(op *bcastOp, n int) *bcastOp {
+	if op == nil {
+		op = &bcastOp{}
+	}
+	op.posted = make([]bool, n)
+	op.postBuf = make([]*gpu.Buffer, n)
+	op.ready = make([]bool, n)
+	op.readyAt = make([]sim.Time, n)
+	op.reqs = make([]*Request, n)
+	return op
+}
+
+func (w *World) putBcastOp(op *bcastOp) {
+	op.c = nil
+	w.bcastPool = append(w.bcastPool, op)
 }
 
 // Ibcast posts this rank's participation in a non-blocking broadcast
@@ -45,6 +103,8 @@ type bcastOp struct {
 // data; elsewhere it receives it. The returned request completes when
 // this rank's buffer is ready for reuse (root: all its tree sends
 // done; non-root: data arrived).
+//
+//scaffe:hotpath
 func (r *Rank) Ibcast(c *Comm, root int, buf *gpu.Buffer, mode topology.TransferMode) *Request {
 	r.ftCheck()
 	me := c.Rank(r)
@@ -53,19 +113,9 @@ func (r *Rank) Ibcast(c *Comm, root int, buf *gpu.Buffer, mode topology.Transfer
 
 	op := r.W.bcastOps[key]
 	if op == nil {
-		n := c.Size()
-		op = &bcastOp{
-			c:       c,
-			key:     key,
-			root:    root,
-			bytes:   buf.Bytes,
-			mode:    mode,
-			posted:  make([]bool, n),
-			postBuf: make([]*gpu.Buffer, n),
-			ready:   make([]bool, n),
-			readyAt: make([]sim.Time, n),
-			reqs:    make([]*Request, n),
-		}
+		op = r.W.getBcastOp(c.Size())
+		op.c, op.key, op.root = c, key, root
+		op.bytes, op.mode = buf.Bytes, mode
 		r.W.bcastOps[key] = op
 	}
 	if op.root != root {
@@ -75,17 +125,18 @@ func (r *Rank) Ibcast(c *Comm, root int, buf *gpu.Buffer, mode topology.Transfer
 		panic(fmt.Sprintf("mpi: Ibcast size mismatch on comm %d op %d: %d vs %d bytes", c.id, key.seq, op.bytes, buf.Bytes))
 	}
 
-	req := &Request{Done: r.W.K.NewCompletion(), buf: buf}
+	req := r.getRequest(buf)
 	op.posted[me] = true
+	op.postedCount++
 	op.postBuf[me] = buf
 	op.reqs[me] = req
 
 	if me == root {
-		op.rootSends = len(op.children(root))
+		op.rootSends = op.countChildren(root)
 		op.markReady(r.W, me, r.Now())
-		if op.rootSends == 0 {
-			req.Done.Fire()
+		if op.rootSends == 0 && !op.rootCompleted {
 			op.rootCompleted = true
+			op.fireReq(root)
 		}
 	} else {
 		// A newly posted child may unblock a ready parent's edge.
@@ -94,9 +145,7 @@ func (r *Rank) Ibcast(c *Comm, root int, buf *gpu.Buffer, mode topology.Transfer
 			op.scheduleEdge(r.W, parent, me)
 		}
 	}
-	if op.complete() {
-		delete(r.W.bcastOps, key)
-	}
+	op.maybeComplete(r.W)
 	return req
 }
 
@@ -127,9 +176,9 @@ func (op *bcastOp) parent(groupRank int) int {
 	panic("mpi: bcast parent of root")
 }
 
-// children returns the binomial-tree children of a group rank, in the
-// send order MPI uses (largest subtree first).
-func (op *bcastOp) children(groupRank int) []int {
+// childMask returns the largest-subtree mask for a group rank: its
+// binomial-tree children are rel+m for m = mask>>1, mask>>2, ... 1.
+func (op *bcastOp) childMask(groupRank int) int {
 	n := op.c.Size()
 	rel := op.relative(groupRank)
 	mask := 1
@@ -139,29 +188,120 @@ func (op *bcastOp) children(groupRank int) []int {
 		}
 		mask <<= 1
 	}
-	var kids []int
-	for m := mask >> 1; m > 0; m >>= 1 {
+	return mask
+}
+
+// countChildren returns the number of binomial-tree children.
+func (op *bcastOp) countChildren(groupRank int) int {
+	n := op.c.Size()
+	rel := op.relative(groupRank)
+	kids := 0
+	for m := op.childMask(groupRank) >> 1; m > 0; m >>= 1 {
 		if rel+m < n {
-			kids = append(kids, op.absolute(rel+m))
+			kids++
 		}
 	}
 	return kids
 }
 
+// fireReq fires group rank i's request exactly once and drops the
+// reference: the request belongs to its rank, which may recycle it the
+// moment its waiter resumes, so the op must never touch it again.
+//
+//scaffe:hotpath
+func (op *bcastOp) fireReq(i int) {
+	req := op.reqs[i]
+	if req == nil {
+		return
+	}
+	op.reqs[i] = nil
+	op.firedCount++
+	req.Done.Fire()
+}
+
+// maybeComplete reclaims the op record once every rank has posted and
+// every request has fired.
+//
+//scaffe:hotpath
+func (op *bcastOp) maybeComplete(w *World) {
+	if op.postedCount == len(op.posted) && op.firedCount == len(op.posted) {
+		delete(w.bcastOps, op.key)
+		w.putBcastOp(op)
+	}
+}
+
 // markReady records that a rank's buffer holds the data as of time t
-// and schedules edges to every already-posted child.
+// and schedules edges to every already-posted child, largest subtree
+// first (the send order MPI uses).
+//
+//scaffe:hotpath
 func (op *bcastOp) markReady(w *World, groupRank int, t sim.Time) {
 	op.ready[groupRank] = true
 	op.readyAt[groupRank] = t
-	for _, child := range op.children(groupRank) {
-		if op.posted[child] {
-			op.scheduleEdge(w, groupRank, child)
+	n := op.c.Size()
+	rel := op.relative(groupRank)
+	for m := op.childMask(groupRank) >> 1; m > 0; m >>= 1 {
+		if rel+m < n {
+			child := op.absolute(rel + m)
+			if op.posted[child] {
+				op.scheduleEdge(w, groupRank, child)
+			}
 		}
 	}
 }
 
+// bcastEdge is the pooled payload of one parent->child tree transfer's
+// landing event.
+type bcastEdge struct {
+	op            *bcastOp
+	parent, child int
+	try           int
+	isRootEdge    bool
+}
+
+//scaffe:hotpath
+func (w *World) getBcastEdge() *bcastEdge {
+	n := len(w.edgePool)
+	if n == 0 {
+		return newBcastEdge()
+	}
+	e := w.edgePool[n-1]
+	w.edgePool[n-1] = nil
+	w.edgePool = w.edgePool[:n-1]
+	return e
+}
+
+// newBcastEdge is getBcastEdge's pool-miss path.
+func newBcastEdge() *bcastEdge { return &bcastEdge{} }
+
+func (w *World) putBcastEdge(e *bcastEdge) {
+	*e = bcastEdge{}
+	w.edgePool = append(w.edgePool, e)
+}
+
+// RunEvent implements sim.Runnable: the edge's transfer has landed.
+// The record is released before committing, because committing the
+// final edge can reclaim the whole op.
+//
+//scaffe:hotpath
+func (e *bcastEdge) RunEvent(k *sim.Kernel) {
+	op, parent, child, try, isRootEdge := e.op, e.parent, e.child, e.try, e.isRootEdge
+	w := op.c.w
+	w.putBcastEdge(e)
+	if src, dst := op.postBuf[parent], op.postBuf[child]; src != nil && dst != nil {
+		dst.CopyFrom(src)
+	}
+	if w.integrityArmed() {
+		op.verifyEdge(w, parent, child, try, isRootEdge)
+		return
+	}
+	op.commitEdge(w, child, isRootEdge)
+}
+
 // scheduleEdge books the parent->child transfer (parent data and child
 // buffer are both available) and wires up delivery.
+//
+//scaffe:hotpath
 func (op *bcastOp) scheduleEdge(w *World, parent, child int) {
 	from := op.c.rankAt(parent)
 	to := op.c.rankAt(child)
@@ -170,35 +310,27 @@ func (op *bcastOp) scheduleEdge(w *World, parent, child int) {
 		at = pt
 	}
 	_, end := w.Cluster.Transfer(at, from.Dev.ID, to.Dev.ID, op.bytes, op.mode)
-	isRootEdge := parent == op.root
-	w.K.At(end, func() {
-		if src, dst := op.postBuf[parent], op.postBuf[child]; src != nil && dst != nil {
-			dst.CopyFrom(src)
-		}
-		if w.integrityArmed() {
-			op.verifyEdge(w, parent, child, 0, isRootEdge)
-			return
-		}
-		op.commitEdge(w, child, isRootEdge)
-	})
+	e := w.getBcastEdge()
+	e.op, e.parent, e.child, e.try, e.isRootEdge = op, parent, child, 0, parent == op.root
+	w.K.AtRun(end, e)
 }
 
 // commitEdge records a delivered parent->child edge: the child's
 // request fires, its buffer becomes a source for its own children, and
 // the root's request fires once its last child edge lands.
+//
+//scaffe:hotpath
 func (op *bcastOp) commitEdge(w *World, child int, isRootEdge bool) {
-	op.reqs[child].Done.Fire()
+	op.fireReq(child)
 	op.markReady(w, child, w.K.Now())
 	if isRootEdge {
 		op.rootSends--
 		if op.rootSends == 0 && !op.rootCompleted {
 			op.rootCompleted = true
-			op.reqs[op.root].Done.Fire()
+			op.fireReq(op.root)
 		}
 	}
-	if op.complete() {
-		delete(w.bcastOps, op.key)
-	}
+	op.maybeComplete(w)
 }
 
 // verifyEdge is commitEdge behind a checksum: it applies any armed
@@ -258,21 +390,7 @@ func (op *bcastOp) verifyEdge(w *World, parent, child, try int, isRootEdge bool)
 func (op *bcastOp) retransmitEdge(w *World, parent, child, try int, isRootEdge bool) {
 	from, to := op.c.rankAt(parent), op.c.rankAt(child)
 	_, end := w.Cluster.Transfer(w.K.Now(), from.Dev.ID, to.Dev.ID, op.bytes, op.mode)
-	w.K.At(end, func() {
-		if src, dst := op.postBuf[parent], op.postBuf[child]; src != nil && dst != nil {
-			dst.CopyFrom(src)
-		}
-		op.verifyEdge(w, parent, child, try, isRootEdge)
-	})
-}
-
-// complete reports whether every rank has posted and every request has
-// fired, so the op record can be reclaimed.
-func (op *bcastOp) complete() bool {
-	for i := range op.posted {
-		if !op.posted[i] || op.reqs[i] == nil || !op.reqs[i].Done.Fired() {
-			return false
-		}
-	}
-	return true
+	e := w.getBcastEdge()
+	e.op, e.parent, e.child, e.try, e.isRootEdge = op, parent, child, try, isRootEdge
+	w.K.AtRun(end, e)
 }

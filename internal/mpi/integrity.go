@@ -65,15 +65,45 @@ type Summed struct {
 // scaffe-lint's mpi pass): Verify re-checksums the delivered payload
 // against the wire sum and, in recover mode, retransmits the chunk on
 // mismatch within the world's retry budget before escalating via
-// Revoked.
+// Revoked. The handle is pooled: Verify settling it releases it, so it
+// must not be used afterwards.
 func (r *Rank) RecvSummed(c *Comm, from, tag int, buf *gpu.Buffer) *Summed {
 	var s *Summed
 	if r.W.integrityArmed() {
-		s = &Summed{r: r, buf: buf}
+		s = r.getSummed(buf)
 	}
 	req := r.irecv(c, from, tag, buf, s)
 	r.Wait(req)
 	return s
+}
+
+// getSummed draws a checksummed-chunk header from the rank's free
+// list; the cold miss path allocates.
+//
+//scaffe:hotpath
+func (r *Rank) getSummed(buf *gpu.Buffer) *Summed {
+	n := len(r.sumPool)
+	if n == 0 {
+		return newSummed(r, buf)
+	}
+	s := r.sumPool[n-1]
+	r.sumPool[n-1] = nil
+	r.sumPool = r.sumPool[:n-1]
+	s.r, s.buf = r, buf
+	return s
+}
+
+// newSummed is getSummed's pool-miss path.
+func newSummed(r *Rank, buf *gpu.Buffer) *Summed { return &Summed{r: r, buf: buf} }
+
+// release returns a settled header to its rank's free list, keeping
+// the clean-snapshot capacity for the next corrupted delivery.
+func (s *Summed) release() {
+	r := s.r
+	s.r, s.buf, s.src = nil, nil, nil
+	s.sum, s.mode, s.poisoned = 0, 0, false
+	s.clean = s.clean[:0]
+	r.sumPool = append(r.sumPool, s)
 }
 
 // deliver runs in kernel context immediately after the payload copy:
@@ -104,8 +134,8 @@ func (s *Summed) corrupt() {
 		s.poisoned = true
 		return
 	}
-	if s.clean == nil && s.r.W.Integrity.Mode == IntegrityRecover {
-		s.clean = append([]float32(nil), s.buf.Data...)
+	if len(s.clean) == 0 && s.r.W.Integrity.Mode == IntegrityRecover {
+		s.clean = append(s.clean[:0], s.buf.Data...)
 	}
 	s.buf.Data[0] = math.Float32frombits(math.Float32bits(s.buf.Data[0]) ^ 1<<30)
 }
@@ -126,10 +156,12 @@ func (s *Summed) Verify() {
 		bad := s.poisoned || (s.buf.Data != nil && s.buf.Checksum() != s.sum)
 		if !bad {
 			integ.Verified++
+			s.release()
 			return
 		}
 		integ.Detected++
 		if integ.Mode == IntegrityDetect {
+			s.release()
 			return
 		}
 		if try >= integ.RetryBudget {
@@ -151,9 +183,9 @@ func (s *Summed) retransmit() {
 	r := s.r
 	w := r.W
 	_, end := w.Cluster.Transfer(r.Now(), s.src.Dev.ID, r.Dev.ID, s.buf.Bytes, s.mode)
-	done := w.K.NewCompletion()
+	done := w.K.GetCompletion()
 	w.K.At(end, func() {
-		if s.buf.Data != nil && s.clean != nil {
+		if s.buf.Data != nil && len(s.clean) > 0 {
 			copy(s.buf.Data, s.clean)
 		}
 		s.poisoned = false
@@ -165,7 +197,8 @@ func (s *Summed) retransmit() {
 	})
 	if w.Fault != nil {
 		r.waitFT(r.Proc, done)
-		return
+	} else {
+		r.Proc.Wait(done)
 	}
-	r.Proc.Wait(done)
+	w.K.PutCompletion(done)
 }

@@ -19,19 +19,39 @@ type matchKey struct {
 	tag  int
 }
 
+// pendingSend is one unexpected message: the sender arrived before the
+// matching receive was posted. Records are pooled on the receiving
+// rank and linked into its unexpected-queue per match key. reqGen
+// snapshots the send request's completion generation at post time: an
+// eager send fires (and may be recycled by the sender's Wait) long
+// before the receiver arrives, so the delivery fires the send side
+// through FireIf.
 type pendingSend struct {
 	from   *Rank
 	buf    *gpu.Buffer
 	mode   topology.TransferMode
 	sentAt sim.Time
 	req    *Request
+	reqGen uint64
+	next   *pendingSend
 }
 
 // Request tracks a non-blocking operation. Done fires when the
 // operation completes (buffer reusable for sends, data delivered for
 // receives).
+//
+// Requests are pooled per rank with a release-on-Wait lifecycle
+// mirroring MPI_Wait semantics: when Wait returns, the handle is dead
+// and its record returns to the owner's free list. The completion is
+// embedded by value — recycling the request recycles the completion,
+// and the generation bump makes any stale reference (an eager send's
+// queued delivery, a scheduled FireAt) dissolve instead of completing
+// the record's next life.
 type Request struct {
+	// Done fires when the operation completes; it always points at the
+	// embedded completion.
 	Done *sim.Completion
+	done sim.Completion
 	buf  *gpu.Buffer
 	// deferred, when non-nil, is executed inside Wait — used for
 	// CPU-progressed operations like Ireduce.
@@ -39,25 +59,170 @@ type Request struct {
 	// summed, when non-nil, records the delivered payload's checksum
 	// for the integrity plane (see RecvSummed).
 	summed *Summed
+	next   *Request // match-queue link (posted receives)
+	pooled bool
 }
 
-// Wait blocks the rank until the request completes. For deferred
-// (CPU-progressed) requests this is where all the work happens. With
-// a fault plane armed the wait is deadline-sliced and may panic with
-// Revoked{} if a rank failure is detected (see fault.go).
+// reqQueue and psQueue are intrusive FIFO lists: match queues chain
+// pooled records through their next pointers, so posting and matching
+// never allocate.
+type reqQueue struct{ head, tail *Request }
+
+type psQueue struct{ head, tail *pendingSend }
+
+// getRequest returns a fresh un-fired request from the rank's free
+// list; the cold miss path lives in newRequest.
+//
+//scaffe:hotpath
+func (r *Rank) getRequest(buf *gpu.Buffer) *Request {
+	n := len(r.reqPool)
+	if n == 0 {
+		return r.newRequest(buf)
+	}
+	req := r.reqPool[n-1]
+	r.reqPool[n-1] = nil
+	r.reqPool = r.reqPool[:n-1]
+	req.done.Init(r.W.K)
+	req.buf = buf
+	req.pooled = false
+	return req
+}
+
+// newRequest is getRequest's pool-miss path.
+func (r *Rank) newRequest(buf *gpu.Buffer) *Request {
+	req := &Request{buf: buf}
+	req.Done = &req.done
+	req.done.Init(r.W.K)
+	return req
+}
+
+// putRequest recycles a settled request. Double releases are absorbed
+// (a request waited twice settles once).
+func (r *Rank) putRequest(req *Request) {
+	if req.pooled {
+		return
+	}
+	req.pooled = true
+	req.buf = nil
+	req.deferred = nil
+	req.summed = nil
+	req.next = nil
+	r.reqPool = append(r.reqPool, req)
+}
+
+// getPendingSend draws an unexpected-message record from the rank's
+// free list; the cold miss path allocates.
+//
+//scaffe:hotpath
+func (r *Rank) getPendingSend() *pendingSend {
+	n := len(r.psPool)
+	if n == 0 {
+		return newPendingSend()
+	}
+	ps := r.psPool[n-1]
+	r.psPool[n-1] = nil
+	r.psPool = r.psPool[:n-1]
+	return ps
+}
+
+// newPendingSend is getPendingSend's pool-miss path.
+func newPendingSend() *pendingSend { return &pendingSend{} }
+
+func (r *Rank) putPendingSend(ps *pendingSend) {
+	*ps = pendingSend{}
+	r.psPool = append(r.psPool, ps)
+}
+
+// popPosted removes the oldest posted receive for key, or nil.
+//
+//scaffe:hotpath
+func (r *Rank) popPosted(key matchKey) *Request {
+	q := r.posted[key]
+	req := q.head
+	if req == nil {
+		return nil
+	}
+	q.head = req.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	r.posted[key] = q
+	req.next = nil
+	return req
+}
+
+// pushPosted appends a posted receive for key.
+//
+//scaffe:hotpath
+func (r *Rank) pushPosted(key matchKey, req *Request) {
+	q := r.posted[key]
+	req.next = nil
+	if q.tail == nil {
+		q.head, q.tail = req, req
+	} else {
+		q.tail.next = req
+		q.tail = req
+	}
+	r.posted[key] = q
+}
+
+// popUnexpected removes the oldest unexpected send for key, or nil.
+//
+//scaffe:hotpath
+func (r *Rank) popUnexpected(key matchKey) *pendingSend {
+	q := r.unexpected[key]
+	ps := q.head
+	if ps == nil {
+		return nil
+	}
+	q.head = ps.next
+	if q.head == nil {
+		q.tail = nil
+	}
+	r.unexpected[key] = q
+	ps.next = nil
+	return ps
+}
+
+// pushUnexpected appends an unexpected send for key.
+//
+//scaffe:hotpath
+func (r *Rank) pushUnexpected(key matchKey, ps *pendingSend) {
+	q := r.unexpected[key]
+	ps.next = nil
+	if q.tail == nil {
+		q.head, q.tail = ps, ps
+	} else {
+		q.tail.next = ps
+		q.tail = ps
+	}
+	r.unexpected[key] = q
+}
+
+// Wait blocks the rank until the request completes, then releases the
+// request record back to the rank's free list: as in MPI_Wait, the
+// handle must not be used after Wait returns (Test/CompletedAt remain
+// readable only until the rank issues its next operation). For
+// deferred (CPU-progressed) requests this is where all the work
+// happens. With a fault plane armed the wait is deadline-sliced and
+// may panic with Revoked{} if a rank failure is detected (see
+// fault.go) — an unwound request is abandoned to the collector, never
+// recycled.
 func (r *Rank) Wait(req *Request) {
 	if req.deferred != nil {
 		fn := req.deferred
 		req.deferred = nil
 		fn()
 		req.Done.Fire()
+		r.putRequest(req)
 		return
 	}
 	if r.W.Fault == nil {
 		r.Proc.Wait(req.Done)
-		return
+	} else {
+		r.waitFT(r.Proc, req.Done)
 	}
-	r.waitFT(r.Proc, req.Done)
+	r.putRequest(req)
 }
 
 // WaitAll waits for every request in order.
@@ -78,7 +243,9 @@ func (req *Request) Test() bool { return req.deferred == nil && req.Done.Fired()
 // Deferred (CPU-progressed) requests complete only inside Wait, so
 // their hooks fire there — the same asymmetry the rest of the runtime
 // models. The scheduler uses these hooks for node readiness and for
-// recording wire-level spans of offloaded operations.
+// recording wire-level spans of offloaded operations. The hook runs at
+// the completion instant but possibly after the waiter has released
+// the request, so it must not touch the request handle.
 func (req *Request) OnComplete(fn func()) { req.Done.OnFire(fn) }
 
 // CompletedAt returns the virtual time at which the request completed;
@@ -88,28 +255,32 @@ func (req *Request) CompletedAt() sim.Time { return req.Done.FiredAt() }
 // NewDeferredRequest creates a request whose work runs inside Wait.
 // Exposed for package coll's CPU-progressed Ireduce.
 func (r *Rank) NewDeferredRequest(fn func()) *Request {
-	return &Request{Done: r.W.K.NewCompletion(), deferred: fn}
+	req := r.getRequest(nil)
+	req.deferred = fn
+	return req
 }
 
 // Isend starts a non-blocking send of buf to group rank `to` of comm c
 // with the given tag.
+//
+//scaffe:hotpath
 func (r *Rank) Isend(c *Comm, to, tag int, buf *gpu.Buffer, mode topology.TransferMode) *Request {
 	r.ftCheck()
 	dst := c.rankAt(to)
 	if dst == r {
 		panic(fmt.Sprintf("mpi: rank %d sending to itself (comm %d tag %d)", r.ID, c.id, tag))
 	}
-	req := &Request{Done: r.W.K.NewCompletion(), buf: buf}
+	req := r.getRequest(buf)
 	key := matchKey{comm: c.id, src: r.ID, tag: tag}
 
-	if posted := dst.posted[key]; len(posted) > 0 {
-		recvReq := posted[0]
-		dst.posted[key] = posted[1:]
-		r.startTransfer(r.Now(), dst, buf, recvReq, req, mode)
+	if recvReq := dst.popPosted(key); recvReq != nil {
+		r.startTransfer(r.Now(), dst, buf, recvReq, req, req.done.Gen(), mode)
 		return req
 	}
-	ps := &pendingSend{from: r, buf: buf, mode: mode, sentAt: r.Now(), req: req}
-	dst.unexpected[key] = append(dst.unexpected[key], ps)
+	ps := dst.getPendingSend()
+	ps.from, ps.buf, ps.mode, ps.sentAt = r, buf, mode, r.Now()
+	ps.req, ps.reqGen = req, req.done.Gen()
+	dst.pushUnexpected(key, ps)
 	if buf.Bytes <= EagerLimit {
 		// Eager: the payload leaves the sender immediately; the send
 		// buffer is reusable right away.
@@ -124,31 +295,66 @@ func (r *Rank) Irecv(c *Comm, from, tag int, buf *gpu.Buffer) *Request {
 	return r.irecv(c, from, tag, buf, nil)
 }
 
+//scaffe:hotpath
 func (r *Rank) irecv(c *Comm, from, tag int, buf *gpu.Buffer, s *Summed) *Request {
 	r.ftCheck()
 	src := c.rankAt(from)
-	req := &Request{Done: r.W.K.NewCompletion(), buf: buf, summed: s}
+	req := r.getRequest(buf)
+	req.summed = s
 	key := matchKey{comm: c.id, src: src.ID, tag: tag}
 
-	if unex := r.unexpected[key]; len(unex) > 0 {
-		ps := unex[0]
-		r.unexpected[key] = unex[1:]
+	if ps := r.popUnexpected(key); ps != nil {
 		// Eager data was already in flight since sentAt; rendezvous
 		// starts now that the receiver arrived.
 		start := r.Now()
 		if ps.buf.Bytes <= EagerLimit {
 			start = ps.sentAt
 		}
-		ps.from.startTransfer(start, r, ps.buf, req, ps.req, ps.mode)
+		ps.from.startTransfer(start, r, ps.buf, req, ps.req, ps.reqGen, ps.mode)
+		r.putPendingSend(ps)
 		return req
 	}
-	r.posted[key] = append(r.posted[key], req)
+	r.pushPosted(key, req)
 	return req
+}
+
+// delivery is the pooled payload of one in-flight transfer's landing
+// event: at the wire end time it copies the payload, settles the
+// integrity handle, and fires both sides through their snapshotted
+// generations (the send side of an eager transfer may have been
+// recycled in the meantime).
+type delivery struct {
+	sender  *Rank
+	src     *gpu.Buffer
+	recvReq *Request
+	sendReq *Request
+	recvGen uint64
+	sendGen uint64
+	summed  *Summed
+	mode    topology.TransferMode
+}
+
+// RunEvent implements sim.Runnable.
+//
+//scaffe:hotpath
+func (d *delivery) RunEvent(k *sim.Kernel) {
+	d.recvReq.buf.CopyFrom(d.src)
+	if s := d.summed; s != nil {
+		s.deliver(d.sender, d.mode)
+	}
+	d.recvReq.Done.FireIf(d.recvGen)
+	d.sendReq.Done.FireIf(d.sendGen)
+	d.sender.W.putDelivery(d)
 }
 
 // startTransfer books the wire time and schedules delivery: at the end
 // of the transfer the payload is copied and both requests complete.
-func (r *Rank) startTransfer(at sim.Time, dst *Rank, src *gpu.Buffer, recvReq, sendReq *Request, mode topology.TransferMode) {
+// sendGen is the send completion's generation snapshotted at post
+// time; the receive side snapshots here (it cannot be recycled before
+// delivery fires it).
+//
+//scaffe:hotpath
+func (r *Rank) startTransfer(at sim.Time, dst *Rank, src *gpu.Buffer, recvReq, sendReq *Request, sendGen uint64, mode topology.TransferMode) {
 	if recvReq.buf.Bytes != src.Bytes {
 		panic(fmt.Sprintf("mpi: message size mismatch: send %d bytes, recv %d bytes", src.Bytes, recvReq.buf.Bytes))
 	}
@@ -156,15 +362,12 @@ func (r *Rank) startTransfer(at sim.Time, dst *Rank, src *gpu.Buffer, recvReq, s
 	if end < r.Now() {
 		end = r.Now()
 	}
-	k := r.W.K
-	k.At(end, func() {
-		recvReq.buf.CopyFrom(src)
-		if s := recvReq.summed; s != nil {
-			s.deliver(r, mode)
-		}
-		recvReq.Done.Fire()
-		sendReq.Done.Fire()
-	})
+	d := r.W.getDelivery()
+	d.sender, d.src, d.mode = r, src, mode
+	d.recvReq, d.recvGen = recvReq, recvReq.done.Gen()
+	d.sendReq, d.sendGen = sendReq, sendGen
+	d.summed = recvReq.summed
+	r.W.K.AtRun(end, d)
 }
 
 // Send is a blocking send (Isend + Wait).

@@ -1,0 +1,192 @@
+package mpi
+
+import (
+	"testing"
+
+	"scaffe/internal/fault"
+	"scaffe/internal/gpu"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// These are the mpi half of the pooled-object recycling drill (the sim
+// half lives in sim/queue_test.go): requests and integrity headers are
+// recycled through faults — wire corruption escalating to a revocation,
+// and a rank killed mid-flight — and the generation counters must keep
+// every reference from a previous life from completing a record's next
+// one.
+
+// TestRecyclingDrillCorruptionEscalation drives a checksummed receive
+// into the escalation path: the retry budget is exhausted by a
+// persistently corrupted link and Verify unwinds with Revoked. The
+// request the receive used was released by Wait before Verify ran, so
+// it is recycled; the Summed header was still in Verify's hands, so it
+// is abandoned. The drill checks both lifecycles and the generation
+// guard on the recycled request.
+func TestRecyclingDrillCorruptionEscalation(t *testing.T) {
+	w := newWorld(t, 2, 1, 2)
+	c := w.WorldComm()
+	corrupt := false
+	w.Integrity = &Integrity{
+		Mode:        IntegrityRecover,
+		RetryBudget: 1,
+		WireCorrupt: func(src, dst int) bool { return corrupt },
+	}
+
+	escaped := false
+	_, err := w.Run(func(r *Rank) {
+		if r.ID == 1 {
+			r.Send(c, 0, 1, gpu.WrapData([]float32{1, 2, 3, 4}), topology.ModeAuto)
+			r.Send(c, 0, 2, gpu.WrapData([]float32{5, 6, 7, 8}), topology.ModeAuto)
+			return
+		}
+		buf := gpu.NewDataBuffer(4)
+
+		// Clean round: fills the pools. Wait releases the request before
+		// Verify settles (and releases) the header.
+		r.RecvSummed(c, 1, 1, buf).Verify()
+		if len(r.reqPool) == 0 || len(r.sumPool) == 0 {
+			t.Errorf("clean round left empty pools: %d requests, %d summed", len(r.reqPool), len(r.sumPool))
+			return
+		}
+		staleReq := r.reqPool[len(r.reqPool)-1]
+		staleGen := staleReq.done.Gen()
+		staleSum := r.sumPool[len(r.sumPool)-1]
+
+		// Corrupted round: every delivery (including the retransmit) is
+		// damaged, so Verify burns the budget and revokes.
+		corrupt = true
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if !IsRevoked(rec) {
+					panic(rec)
+				}
+				escaped = true
+			}()
+			r.RecvSummed(c, 1, 2, buf).Verify()
+		}()
+		corrupt = false
+		if !escaped {
+			t.Errorf("exhausted retry budget did not unwind with Revoked")
+			return
+		}
+
+		// The request was recycled for the corrupted receive (a new
+		// generation) and released again before the escalation.
+		if !staleReq.pooled {
+			t.Errorf("request used by the escalated receive was not released back to the pool")
+		}
+		if staleReq.done.Gen() == staleGen {
+			t.Errorf("recycling the request did not bump its completion generation")
+		}
+
+		// The abandoned Summed header must never return to the pool: the
+		// next checksummed receive gets a fresh record, not the one the
+		// escalation left mid-verify.
+		for _, s := range r.sumPool {
+			if s == staleSum {
+				t.Errorf("escalated Summed header returned to the pool; it must be abandoned")
+			}
+		}
+
+		// The generation guard on the recycled record: draw it again
+		// (LIFO gives back the same record) and fire it through the
+		// generation snapshotted two lives ago — the stale fire must
+		// dissolve; the current generation must fire.
+		req := r.getRequest(nil)
+		if req != staleReq {
+			t.Errorf("pool did not hand back the recycled request")
+		}
+		req.Done.FireIf(staleGen)
+		if req.Done.Fired() {
+			t.Errorf("FireIf with a generation from a previous life completed the recycled request")
+		}
+		req.Done.FireIf(req.Done.Gen())
+		if !req.Done.Fired() {
+			t.Errorf("FireIf with the current generation did not fire")
+		}
+		r.putRequest(req)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	integ := w.Integrity
+	if integ.Verified != 1 || integ.Detected != 2 || integ.Retransmits != 1 || integ.Escalations != 1 {
+		t.Fatalf("integrity counters = verified %d detected %d retransmits %d escalations %d; want 1/2/1/1",
+			integ.Verified, integ.Detected, integ.Retransmits, integ.Escalations)
+	}
+}
+
+// drillApplier is the minimal physical side of the fault plane for the
+// kill drill: crashes fail-stop the rank's procs, stragglers are not
+// modeled.
+type drillApplier struct{ w *World }
+
+func (a *drillApplier) KillRank(rank int, _ fault.Kind) { a.w.Ranks[rank].KillAll() }
+func (a *drillApplier) SetCompute(int, float64)         {}
+
+// TestRecyclingDrillKillMidFlight kills a sender while the receiver is
+// parked on the matching request. The fault-aware wait unwinds with
+// Revoked before Wait can release the record, so the in-flight request
+// must be abandoned — never recycled — and its pool must stay free of
+// it.
+func TestRecyclingDrillKillMidFlight(t *testing.T) {
+	w := newWorld(t, 2, 1, 2)
+	c := w.WorldComm()
+	pl := fault.NewPlane(w.K, 2, sim.Millisecond)
+	w.Fault = pl
+	pl.Arm(fault.Schedule{{At: 3 * sim.Millisecond, Kind: fault.Crash, Rank: 1}}, &drillApplier{w: w})
+
+	var inFlight *Request
+	revoked := false
+	_, err := w.Run(func(r *Rank) {
+		if r.ID == 1 {
+			// Never sends; dies mid-nap at 3ms.
+			r.Sleep(sim.Second)
+			return
+		}
+		buf := gpu.NewDataBuffer(4)
+		func() {
+			defer func() {
+				rec := recover()
+				if rec == nil {
+					return
+				}
+				if !IsRevoked(rec) {
+					panic(rec)
+				}
+				revoked = true
+			}()
+			inFlight = r.Irecv(c, 1, 9, buf)
+			r.Wait(inFlight)
+		}()
+		if !revoked {
+			t.Errorf("wait on a dead sender did not unwind with Revoked")
+			return
+		}
+		// The unwound request is abandoned, not recycled: it never
+		// reaches the free list, so no later operation can be handed a
+		// record with a live posted-queue reference.
+		if inFlight.pooled {
+			t.Errorf("request abandoned by the revoked wait was returned to the pool")
+		}
+		for _, q := range r.reqPool {
+			if q == inFlight {
+				t.Errorf("abandoned in-flight request found in the free list")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pl.Revoked() {
+		t.Fatalf("plane not revoked after detecting the crash")
+	}
+	if rep := pl.Report(); rep.Crashes != 1 {
+		t.Fatalf("report crashes = %d, want 1", rep.Crashes)
+	}
+}

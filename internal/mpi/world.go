@@ -40,6 +40,11 @@ type World struct {
 
 	nextCommID int
 	bcastOps   map[bcastKey]*bcastOp
+
+	// Free lists for pooled hot-path records shared across ranks.
+	delPool   []*delivery
+	bcastPool []*bcastOp
+	edgePool  []*bcastEdge
 }
 
 // NewWorld creates an n-rank world on cluster c, one rank per CUDA
@@ -54,11 +59,34 @@ func NewWorld(c *topology.Cluster, n int) *World {
 			W:          w,
 			ID:         i,
 			Dev:        gpu.NewDevice(c, c.DeviceForRank(i)),
-			posted:     make(map[matchKey][]*Request),
-			unexpected: make(map[matchKey][]*pendingSend),
+			posted:     make(map[matchKey]reqQueue),
+			unexpected: make(map[matchKey]psQueue),
 		})
 	}
 	return w
+}
+
+// getDelivery draws a transfer-landing record from the world free
+// list; the cold miss path allocates.
+//
+//scaffe:hotpath
+func (w *World) getDelivery() *delivery {
+	n := len(w.delPool)
+	if n == 0 {
+		return newDelivery()
+	}
+	d := w.delPool[n-1]
+	w.delPool[n-1] = nil
+	w.delPool = w.delPool[:n-1]
+	return d
+}
+
+// newDelivery is getDelivery's pool-miss path.
+func newDelivery() *delivery { return &delivery{} }
+
+func (w *World) putDelivery(d *delivery) {
+	*d = delivery{}
+	w.delPool = append(w.delPool, d)
 }
 
 // Size returns the number of ranks.
@@ -92,8 +120,13 @@ type Rank struct {
 	Dev  *gpu.Device
 	Proc *sim.Proc
 
-	posted     map[matchKey][]*Request
-	unexpected map[matchKey][]*pendingSend
+	posted     map[matchKey]reqQueue
+	unexpected map[matchKey]psQueue
+
+	// Free lists for the rank's pooled hot-path records.
+	reqPool []*Request
+	psPool  []*pendingSend
+	sumPool []*Summed
 
 	// threads tracks live helper procs so a crash (or recovery) can
 	// fail-stop the whole rank, not just its main thread.

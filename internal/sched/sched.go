@@ -208,7 +208,7 @@ func (g *Graph) Execute(tracer Tracer) {
 	k := g.r.W.K
 	for _, lane := range g.lanes {
 		for _, n := range lane {
-			n.done = k.NewCompletion()
+			n.done = k.GetCompletion()
 		}
 	}
 	joins := make([]*sim.Completion, 0, len(g.lanes)-1)
@@ -239,6 +239,17 @@ func (g *Graph) Execute(tracer Tracer) {
 	// (SC-OBR's join node), making these waits free.
 	for _, j := range joins {
 		g.r.WaitDep(g.r.Proc, j)
+	}
+	// Every node has fired by now (each lane runs in insertion order and
+	// the joins cover each helper lane's last node), so the completions
+	// can be recycled. A Revoked unwind skips this and abandons them to
+	// the collector, which is safe: the generation bump on reuse
+	// dissolves any reference that survived.
+	for _, lane := range g.lanes {
+		for _, n := range lane {
+			k.PutCompletion(n.done)
+			n.done = nil
+		}
 	}
 }
 

@@ -13,7 +13,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"runtime/debug"
 )
@@ -56,39 +55,19 @@ func (t Time) String() string {
 	}
 }
 
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
-
 // Kernel is a discrete-event simulation engine. The zero value is not
 // usable; create one with New.
 type Kernel struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	procs   []*Proc
-	live    int // procs spawned but not yet finished
-	maxTime Time
-	stopped bool
-	failure error
+	now      Time
+	seq      uint64
+	nowQ     nowRing
+	cal      calendarQueue
+	procs    []*Proc
+	live     int // procs spawned but not yet finished
+	maxTime  Time
+	stopped  bool
+	failure  error
+	compPool []*Completion
 }
 
 // New returns a fresh kernel at virtual time zero.
@@ -103,32 +82,113 @@ func (k *Kernel) Now() Time { return k.now }
 // watchdog against runaway simulations.
 func (k *Kernel) SetDeadline(t Time) { k.maxTime = t }
 
+// schedule stamps e with its due time and sequence number and routes
+// it to the same-instant ring or the calendar. Past times clamp to
+// now, so the event runs at the current instant but strictly after
+// everything already scheduled for it.
+//
+//scaffe:hotpath
+func (k *Kernel) schedule(t Time, e event) {
+	if t <= k.now {
+		k.seq++
+		e.at, e.seq = k.now, k.seq
+		k.nowQ.push(e)
+		return
+	}
+	k.seq++
+	e.at, e.seq = t, k.seq
+	k.cal.insert(e)
+}
+
 // At schedules fn to run in kernel context at virtual time t. If t is
 // in the past it runs at the current time (but strictly after all
 // previously scheduled events for that time).
 func (k *Kernel) At(t Time, fn func()) {
-	if t < k.now {
-		t = k.now
-	}
-	k.seq++
-	k.events.pushEvent(event{at: t, seq: k.seq, fn: fn})
+	k.schedule(t, event{kind: evFunc, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds of virtual time from now.
 func (k *Kernel) After(d Duration, fn func()) { k.At(k.now+d, fn) }
+
+// AtRun schedules r's RunEvent to execute in kernel context at
+// virtual time t. It is the closure-free analogue of At for pooled
+// event records owned by higher layers.
+func (k *Kernel) AtRun(t Time, r Runnable) {
+	k.schedule(t, event{kind: evRun, run: r})
+}
+
+// atResume schedules an unconditional resume of p at time t.
+//
+//scaffe:hotpath
+func (k *Kernel) atResume(t Time, p *Proc) {
+	k.schedule(t, event{kind: evResume, p: p})
+}
+
+// atResumeIf schedules a guarded resume of p at time t, delivered
+// only if p is still parked on the wait armed with seq.
+//
+//scaffe:hotpath
+func (k *Kernel) atResumeIf(t Time, p *Proc, seq uint64) {
+	k.schedule(t, event{kind: evResumeIf, p: p, aux: seq})
+}
+
+// atFire schedules c to fire at time t, guarded by c's current
+// generation: if c is recycled before t, the event dissolves.
+//
+//scaffe:hotpath
+func (k *Kernel) atFire(t Time, c *Completion) {
+	k.schedule(t, event{kind: evFire, c: c, aux: c.gen})
+}
+
+// popEvent removes the globally-minimum event under the two-tier pop
+// rule: a calendar event due at or before now always precedes every
+// ring event (it was scheduled strictly earlier — smaller seq); an
+// empty ring lets the calendar minimum advance virtual time.
+//
+//scaffe:hotpath
+func (k *Kernel) popEvent() event {
+	if t, ok := k.cal.minTime(); ok && t <= k.now {
+		return k.cal.pop()
+	}
+	if k.nowQ.len() > 0 {
+		return k.nowQ.pop()
+	}
+	return k.cal.pop()
+}
+
+// dispatch executes one event record.
+//
+//scaffe:hotpath
+func (k *Kernel) dispatch(ev event) {
+	switch ev.kind {
+	case evFunc:
+		ev.fn()
+	case evResume:
+		k.resume(ev.p)
+	case evResumeIf:
+		k.resumeIf(ev.p, ev.aux)
+	case evFire:
+		ev.c.FireIf(ev.aux)
+	case evRun:
+		ev.run.RunEvent(k)
+	}
+}
+
+// pending returns the number of queued events.
+func (k *Kernel) pending() int { return k.nowQ.len() + k.cal.count }
 
 // Run executes the event loop until no events remain, then verifies
 // that every spawned proc has finished. It returns an error on
 // deadlock (procs remain parked with no pending events) or if the
 // deadline set by SetDeadline is exceeded.
 func (k *Kernel) Run() error {
-	for k.events.Len() > 0 && !k.stopped {
-		ev := k.events.popEvent()
+	for k.pending() > 0 && !k.stopped {
+		ev := k.popEvent()
 		if ev.at > k.maxTime {
 			return fmt.Errorf("sim: deadline exceeded at %v (deadline %v)", ev.at, k.maxTime)
 		}
 		k.now = ev.at
-		ev.fn()
+		k.dispatch(ev)
 		if k.failure != nil {
 			return k.failure
 		}
@@ -181,7 +241,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	k.At(k.now, func() { k.resume(p) })
+	k.atResume(k.now, p)
 	return p
 }
 
@@ -196,8 +256,10 @@ func (k *Kernel) resume(p *Proc) {
 }
 
 // wakeAt schedules p to be resumed at time t.
+//
+//scaffe:hotpath
 func (k *Kernel) wakeAt(p *Proc, t Time) {
-	k.At(t, func() { k.resume(p) })
+	k.atResume(t, p)
 }
 
 // resumeIf resumes p only if it is still parked on the guarded wait

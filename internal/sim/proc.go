@@ -46,7 +46,7 @@ func (p *Proc) Kill() {
 		return
 	}
 	p.killed = true
-	p.k.At(p.k.now, func() { p.k.resume(p) })
+	p.k.atResume(p.k.now, p)
 }
 
 // Kernel returns the owning kernel.
@@ -104,7 +104,7 @@ func (p *Proc) Wait(c *Completion) {
 	if c.fired {
 		return
 	}
-	c.waiters = append(c.waiters, waiter{p, p.armWait()})
+	c.addWaiter(waiter{p, p.armWait()})
 	p.park()
 	p.waitArmed = false
 }
@@ -119,8 +119,8 @@ func (p *Proc) WaitTimeout(c *Completion, d Duration) bool {
 		return true
 	}
 	seq := p.armWait()
-	c.waiters = append(c.waiters, waiter{p, seq})
-	p.k.At(p.k.now+d, func() { p.k.resumeIf(p, seq) })
+	c.addWaiter(waiter{p, seq})
+	p.k.atResumeIf(p.k.now+d, p, seq)
 	p.park()
 	p.waitArmed = false
 	return c.fired

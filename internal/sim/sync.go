@@ -11,16 +11,85 @@ type waiter struct {
 // Completion is a one-shot event that procs can wait on. It is created
 // un-fired; Fire releases all current and future waiters. Completions
 // are the simulation analogue of a chan struct{} that is closed once.
+//
+// Completions may be pooled (GetCompletion/PutCompletion, or embedded
+// in a pooled owner that calls reset). Every recycle bumps the
+// generation counter, so scheduled fires and other references taken
+// against an earlier life (FireAt events, FireIf callers) dissolve
+// instead of acting on the reused object. Together with the proc-side
+// waitSeq guard this makes reuse safe under kills and timeouts.
 type Completion struct {
 	k       *Kernel
 	fired   bool
 	firedAt Time
+	gen     uint64
 	waiters []waiter
 	cbs     []func()
+
+	// w0 is the inline backing array for waiters: almost every
+	// completion has exactly one waiting proc, so the common case never
+	// touches the heap even for completions that are not pooled.
+	w0 [2]waiter
+}
+
+// addWaiter parks w on the completion, pointing the waiter list at the
+// inline backing array on first use.
+func (c *Completion) addWaiter(w waiter) {
+	if c.waiters == nil {
+		c.waiters = c.w0[:0]
+	}
+	c.waiters = append(c.waiters, w)
 }
 
 // NewCompletion returns an un-fired completion bound to k.
 func (k *Kernel) NewCompletion() *Completion { return &Completion{k: k} }
+
+// GetCompletion returns an un-fired completion from the kernel's free
+// list (allocating only when the pool is empty). Return it with
+// PutCompletion once no live reference can fire or wait on it.
+func (k *Kernel) GetCompletion() *Completion {
+	if n := len(k.compPool); n > 0 {
+		c := k.compPool[n-1]
+		k.compPool[n-1] = nil
+		k.compPool = k.compPool[:n-1]
+		return c
+	}
+	return &Completion{k: k}
+}
+
+// PutCompletion recycles c into the kernel's free list. The caller
+// must own the only live handle; stale scheduled fires are harmless
+// (the generation bump dissolves them).
+func (k *Kernel) PutCompletion(c *Completion) {
+	c.reset(k)
+	k.compPool = append(k.compPool, c)
+}
+
+// Init readies c for (re)use on kernel k: un-fired, no waiters or
+// callbacks, generation bumped so references from a previous life
+// dissolve. It is how pooled owners with embedded completions (mpi
+// requests) recycle them; a zero-value embedded completion is
+// initialized with the same call.
+func (c *Completion) Init(k *Kernel) { c.reset(k) }
+
+// reset returns c to the un-fired state for reuse, bumping the
+// generation so events scheduled against the previous life dissolve.
+// It also (re)binds the kernel, so zero-value embedded completions
+// can be initialized with the same call.
+func (c *Completion) reset(k *Kernel) {
+	c.k = k
+	c.gen++
+	c.fired = false
+	c.firedAt = 0
+	for i := range c.waiters {
+		c.waiters[i] = waiter{}
+	}
+	c.waiters = c.waiters[:0]
+	for i := range c.cbs {
+		c.cbs[i] = nil
+	}
+	c.cbs = c.cbs[:0]
+}
 
 // Fired reports whether the completion has fired.
 func (c *Completion) Fired() bool { return c.fired }
@@ -29,29 +98,51 @@ func (c *Completion) Fired() bool { return c.fired }
 // is only meaningful when Fired is true.
 func (c *Completion) FiredAt() Time { return c.firedAt }
 
+// Gen returns the completion's current generation. Callers that stash
+// a reference across a possible recycle pair it with FireIf.
+func (c *Completion) Gen() uint64 { return c.gen }
+
 // Fire marks the completion done at the current virtual time, wakes
 // all waiters, and runs registered callbacks in kernel context. Firing
 // twice is a no-op.
+//
+//scaffe:hotpath
 func (c *Completion) Fire() {
 	if c.fired {
 		return
 	}
 	c.fired = true
 	c.firedAt = c.k.now
-	for _, w := range c.waiters {
-		w := w
-		c.k.At(c.k.now, func() { c.k.resumeIf(w.p, w.seq) })
+	waiters := c.waiters
+	for i, w := range waiters {
+		c.k.atResumeIf(c.k.now, w.p, w.seq)
+		waiters[i] = waiter{}
 	}
-	c.waiters = nil
-	for _, fn := range c.cbs {
+	c.waiters = waiters[:0]
+	cbs := c.cbs
+	for i, fn := range cbs {
 		c.k.At(c.k.now, fn)
+		cbs[i] = nil
 	}
-	c.cbs = nil
+	c.cbs = cbs[:0]
 }
 
-// FireAt schedules the completion to fire at virtual time t.
+// FireIf fires the completion only if its generation still equals
+// gen: a reference that survived a recycle becomes a no-op instead of
+// spuriously completing the object's next life.
+//
+//scaffe:hotpath
+func (c *Completion) FireIf(gen uint64) {
+	if c.gen == gen {
+		c.Fire()
+	}
+}
+
+// FireAt schedules the completion to fire at virtual time t. The
+// scheduled event is guarded by the current generation: recycling the
+// completion before t dissolves it.
 func (c *Completion) FireAt(t Time) {
-	c.k.At(t, c.Fire)
+	c.k.atFire(t, c)
 }
 
 // OnFire registers fn to run (in kernel context) when the completion

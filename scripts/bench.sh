@@ -23,6 +23,20 @@ trap 'rm -f "$raw"' EXIT
 echo "== go test -bench $filter -benchtime $benchtime $pkgs =="
 go test -run '^$' -bench "$filter" -benchtime "$benchtime" -benchmem $pkgs | tee "$raw"
 
+# A full run (default filter and packages) must include the tracked
+# benchmarks; a silently missing one (renamed, filtered out by a build
+# error, skipped) would otherwise leave a hole in the perf trajectory.
+if [ "$filter" = "." ] && [ "$pkgs" = "./..." ]; then
+    missing=0
+    for want in BenchmarkFigure11FullScale160 BenchmarkSimKernel BenchmarkScaleSweep; do
+        if ! grep -q "^$want" "$raw"; then
+            echo "bench.sh: required benchmark $want missing from output" >&2
+            missing=1
+        fi
+    done
+    [ "$missing" -eq 0 ] || exit 1
+fi
+
 awk -v date="$(date +%F)" \
     -v gover="$(go version | awk '{print $3}')" \
     -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '

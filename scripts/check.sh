@@ -26,6 +26,12 @@ go run ./cmd/scaffe-lint ./...
 echo "== go build =="
 go build ./...
 
+echo "== event-kernel zero-alloc gate =="
+# The pooled event kernel must not allocate in steady state (DESIGN.md
+# §12); run the gate un-instrumented first, since race instrumentation
+# itself allocates and would mask a regression.
+go test -run '^TestSimKernelZeroAllocSteadyState$' -count=1 ./internal/sim
+
 echo "== go test -race =="
 # Race instrumentation slows the simulator ~10x; the core package needs
 # more than the default 10-minute per-package budget.
