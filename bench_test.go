@@ -197,7 +197,7 @@ func BenchmarkAblationDesigns(b *testing.B) {
 // metric so the recorded benchmark JSON carries the scale alongside
 // ns/op and allocs/op.
 func BenchmarkScaleSweep(b *testing.B) {
-	for _, ranks := range []int{160, 512, 1024} {
+	for _, ranks := range []int{160, 512, 1024, 4096} {
 		b.Run(name("ranks", ranks), func(b *testing.B) {
 			var total sim.Time
 			for i := 0; i < b.N; i++ {

@@ -56,6 +56,7 @@ func main() {
 	summary := flag.Bool("summary", false, "print the per-rank phase totals and compute/communication overlap table")
 	faultsFile := flag.String("faults", "", "inject faults from a schedule file (one event per line, e.g. `100ms crash rank=3`)")
 	integrity := flag.String("integrity", "off", "silent-corruption plane: off, detect (observe only; exit 4 on corruption), recover (retransmit + micro-rollback)")
+	simParallel := flag.Int("sim-parallel", -1, "simulation event-kernel workers: 0 = sequential, N >= 2 = parallel lookahead with N workers, default = auto (one per host core); results are bit-identical either way")
 	flag.Parse()
 
 	var cfg scaffe.Config
@@ -168,6 +169,17 @@ func main() {
 		fatalConfig(err)
 	}
 	cfg.Integrity = mode
+
+	// The flag speaks operator language (0 = sequential, default auto);
+	// Config speaks scheduler language (0 = auto, 1 = sequential).
+	switch {
+	case *simParallel < 0:
+		cfg.SimParallel = 0
+	case *simParallel == 0:
+		cfg.SimParallel = 1
+	default:
+		cfg.SimParallel = *simParallel
+	}
 
 	var rec *scaffe.Trace
 	if *traceFile != "" || *gantt || *summary {

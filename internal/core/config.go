@@ -235,6 +235,17 @@ type Config struct {
 	// — ~240 MB for AlexNet — that pure throughput runs never read.
 	CaptureFinalParams bool
 
+	// SimParallel selects the simulation kernel's execution mode: 0
+	// (the default) auto-sizes to the host's cores (runtime.NumCPU), 1
+	// forces the sequential event loop, and N >= 2 arms conservative
+	// parallel lookahead with up to N concurrent per-rank segments
+	// (sim.Kernel.SetParallel; DESIGN.md §13). Either mode produces
+	// bit-identical traces, totals, and losses; negative values are
+	// rejected. Parallel execution engages only for the fault-free MPI
+	// data-parallel designs — fault- or integrity-armed runs and the
+	// shared-state baselines always use the sequential loop.
+	SimParallel int
+
 	// Seed makes parameter init and data order deterministic.
 	Seed int64
 	// QueueDepth is the per-reader prefetch depth (default 2).
@@ -368,6 +379,8 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("core: chunk retransmit budget must be positive, got %d", c.RetransmitBudget)
 	case c.DivergeFactor < 0:
 		return fmt.Errorf("core: divergence factor must be positive, got %g", c.DivergeFactor)
+	case c.SimParallel < 0:
+		return fmt.Errorf("core: simulation worker count must be non-negative (0 = auto, 1 = sequential), got %d", c.SimParallel)
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 2

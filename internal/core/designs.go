@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"strconv"
 
 	"scaffe/internal/coll"
 	"scaffe/internal/mpi"
@@ -17,23 +17,26 @@ import (
 // runState/workload context; the scheduler supplies ordering, waiting,
 // and trace emission.
 
-// buildIteration constructs iteration it's dependency graph for rank r
-// under the configured design. ModelParallel keeps its pipeline loop
-// (see modelparallel.go): its ranks run different layer ranges, not
+// buildIteration constructs rank r's iteration graph under the
+// configured design. The graph is iteration-independent — anything
+// per-iteration reaches the node actions through sched.Ctx.It — so
+// fault-free runs build it once per rank and re-execute it every
+// iteration. ModelParallel keeps its pipeline loop (see
+// modelparallel.go): its ranks run different layer ranges, not
 // different overlap policies.
-func (st *runState) buildIteration(r *mpi.Rank, it int) *sched.Graph {
+func (st *runState) buildIteration(r *mpi.Rank) *sched.Graph {
 	g := sched.New(r)
 	switch st.cfg.Design {
 	case SCB, CaffeMT:
-		st.buildSCB(g, r, it)
+		st.buildSCB(g, r)
 	case SCOB:
-		st.buildSCOB(g, r, it)
+		st.buildSCOB(g, r)
 	case SCOBR, SCOBRF:
-		st.buildSCOBR(g, r, it)
+		st.buildSCOBR(g, r)
 	case CNTKLike:
-		st.buildCNTK(g, r, it)
+		st.buildCNTK(g, r)
 	case ParamServer:
-		st.buildPS(g, r, it)
+		st.buildPS(g, r)
 	}
 	return g
 }
@@ -43,10 +46,10 @@ func (st *runState) buildIteration(r *mpi.Rank, it int) *sched.Graph {
 // forward/backward, blocking reduce of the packed gradients. CaffeMT
 // shares this graph (its transfers resolve to intra-node IPC and its
 // data plane is the single shared reader).
-func (st *runState) buildSCB(g *sched.Graph, r *mpi.Rank, it int) {
+func (st *runState) buildSCB(g *sched.Graph, r *mpi.Rank) {
 	w := st.wl[r.ID]
 	root := st.isRoot(r)
-	st.addDataWait(g, r, w, it)
+	st.addDataWait(g, r, w)
 	g.Add(0, sched.Pack, "propagation", "pack-params", func(x *sched.Ctx) {
 		if root {
 			w.packParams()
@@ -66,17 +69,17 @@ func (st *runState) buildSCB(g *sched.Graph, r *mpi.Rank, it int) {
 		st.red.Reduce(x.R, w.packedGrads, tagPackedReduce)
 	})
 	if root {
-		st.addUpdate(g, w, it, st.workerCount())
+		st.addUpdate(g, w, st.workerCount())
 	}
 }
 
 // buildSCOB is SC-B plus the overlapped multi-stage data propagation
 // (Section 4.2): every layer's Ibcast is posted up front and each wait
 // sits immediately before the layer that consumes the data.
-func (st *runState) buildSCOB(g *sched.Graph, r *mpi.Rank, it int) {
+func (st *runState) buildSCOB(g *sched.Graph, r *mpi.Rank) {
 	w := st.wl[r.ID]
 	root := st.isRoot(r)
-	st.addDataWait(g, r, w, it)
+	st.addDataWait(g, r, w)
 	slots, drain := st.addPostPropagation(g, r, w)
 	st.addOverlappedForward(g, w, slots, root)
 	st.addBackward(g, w)
@@ -85,7 +88,7 @@ func (st *runState) buildSCOB(g *sched.Graph, r *mpi.Rank, it int) {
 	})
 	if root {
 		st.addDrainSends(g, drain)
-		st.addUpdate(g, w, it, st.workerCount())
+		st.addUpdate(g, w, st.workerCount())
 	}
 }
 
@@ -95,11 +98,11 @@ func (st *runState) buildSCOB(g *sched.Graph, r *mpi.Rank, it int) {
 // depends on the helper node that produced its gradients, so layer n's
 // reduce overlaps layer n−1's backward compute. SC-OBR-F shares this
 // builder — normalization guarantees it always has buckets.
-func (st *runState) buildSCOBR(g *sched.Graph, r *mpi.Rank, it int) {
+func (st *runState) buildSCOBR(g *sched.Graph, r *mpi.Rank) {
 	w := st.wl[r.ID]
 	root := st.isRoot(r)
 	nLayers := len(st.cfg.Spec.Layers)
-	st.addDataWait(g, r, w, it)
+	st.addDataWait(g, r, w)
 	slots, drain := st.addPostPropagation(g, r, w)
 	st.addOverlappedForward(g, w, slots, root)
 
@@ -116,9 +119,9 @@ func (st *runState) buildSCOBR(g *sched.Graph, r *mpi.Rank, it int) {
 		// lowest layer's backward finishes.
 		for bi, b := range w.buckets {
 			bi, bucket := bi, b
-			g.Add(0, sched.Generic, "", fmt.Sprintf("grads-ready:b%d", bi), nil).
+			g.Add(0, sched.Generic, "", st.labels().gradsReadyB[bi], nil).
 				After(bwd[bucket.lo]).WaitingIn("backward")
-			g.Add(0, sched.Reduce, "aggregation", fmt.Sprintf("reduce:b%d", bi), func(x *sched.Ctx) {
+			g.Add(0, sched.Reduce, "aggregation", st.labels().reduceB[bi], func(x *sched.Ctx) {
 				st.red.Reduce(x.R, bucket.buf, tagLayerReduce+4*bi)
 			})
 		}
@@ -128,9 +131,9 @@ func (st *runState) buildSCOBR(g *sched.Graph, r *mpi.Rank, it int) {
 				continue
 			}
 			l := l
-			g.Add(0, sched.Generic, "", fmt.Sprintf("grads-ready:%d", l), nil).
+			g.Add(0, sched.Generic, "", st.labels().gradsReady[l], nil).
 				After(bwd[l]).WaitingIn("backward")
-			g.Add(0, sched.Reduce, "aggregation", fmt.Sprintf("reduce:%d", l), func(x *sched.Ctx) {
+			g.Add(0, sched.Reduce, "aggregation", st.labels().reduce[l], func(x *sched.Ctx) {
 				st.red.Reduce(x.R, w.layerGrad[l], tagLayerReduce+4*l)
 			})
 		}
@@ -139,7 +142,7 @@ func (st *runState) buildSCOBR(g *sched.Graph, r *mpi.Rank, it int) {
 
 	if root {
 		st.addDrainSends(g, drain)
-		st.addUpdate(g, w, it, st.workerCount())
+		st.addUpdate(g, w, st.workerCount())
 	}
 }
 
@@ -149,14 +152,17 @@ func (st *runState) buildSCOBR(g *sched.Graph, r *mpi.Rank, it int) {
 // gradients are staged to the host, ring-allreduced there, staged
 // back, and every rank applies the update locally — the design axes of
 // Table 1.
-func (st *runState) buildCNTK(g *sched.Graph, r *mpi.Rank, it int) {
+func (st *runState) buildCNTK(g *sched.Graph, r *mpi.Rank) {
 	w := st.wl[r.ID]
 	hostOpts := coll.Options{OnGPU: false, HostReduceBW: 20e9, Mode: topology.ModeHost}
 	host := topology.HostOf(r.Dev.ID.Node)
-	st.addDataWait(g, r, w, it)
+	st.addDataWait(g, r, w)
 	st.addForward(g, w)
 	st.addBackward(g, w)
 	g.Add(0, sched.Reduce, "aggregation", "host-allreduce", func(x *sched.Ctx) {
+		// Direct cluster transfers reserve the node's shared PCIe/host
+		// links, outside this rank's group: serialize the segment first.
+		x.P.Exclusive()
 		gradBytes := w.packedGrads.Bytes
 		_, end := st.cluster.Transfer(x.P.Now(), r.Dev.ID, host, gradBytes, topology.ModeAuto)
 		x.P.WaitUntil(end)
@@ -166,14 +172,14 @@ func (st *runState) buildCNTK(g *sched.Graph, r *mpi.Rank, it int) {
 		_, end = st.cluster.Transfer(x.P.Now(), host, r.Dev.ID, gradBytes, topology.ModeAuto)
 		x.P.WaitUntil(end)
 	})
-	st.addLocalUpdate(g, r, w, it)
+	st.addLocalUpdate(g, r, w)
 }
 
 // buildPS models the Inspur-style parameter server: rank 0 serves
 // parameters and aggregates gradients sequentially; ranks 1..N−1
 // train. The single server's links and reduce kernels serialize all
 // workers — the scalability argument of Section 3.1.
-func (st *runState) buildPS(g *sched.Graph, r *mpi.Rank, it int) {
+func (st *runState) buildPS(g *sched.Graph, r *mpi.Rank) {
 	w := st.wl[r.ID]
 	workers := st.cfg.GPUs - 1
 	if r.ID == 0 {
@@ -189,10 +195,10 @@ func (st *runState) buildPS(g *sched.Graph, r *mpi.Rank, it int) {
 				x.P.WaitUntil(end)
 			}
 		})
-		st.addUpdate(g, w, it, workers)
+		st.addUpdate(g, w, workers)
 		return
 	}
-	st.addDataWait(g, r, w, it)
+	st.addDataWait(g, r, w)
 	g.Add(0, sched.WaitBcast, "propagation", "recv-params", func(x *sched.Ctx) {
 		x.R.Recv(st.comm, 0, tagPS, w.packedParams)
 	})
@@ -205,10 +211,59 @@ func (st *runState) buildPS(g *sched.Graph, r *mpi.Rank, it int) {
 
 // --- shared node factories ------------------------------------------------
 
+// labelTable interns the per-layer (and per-bucket) node labels once
+// per run: every rank's graph uses the same strings, so building 1024
+// rank graphs costs 1024 label constructions instead of ~140k Sprintf
+// calls.
+type labelTable struct {
+	fwd, bwd, waitBcast, bcastWire, gradsReady, reduce []string
+	gradsReadyB, reduceB                               []string
+}
+
+// labels returns the run's interned label table, building it on first
+// use. First use happens during graph construction — either eagerly in
+// run() or on the cooperatively-scheduled rank procs — so no locking
+// is needed.
+func (st *runState) labels() *labelTable {
+	if st.lbl != nil {
+		return st.lbl
+	}
+	n := len(st.cfg.Spec.Layers)
+	t := &labelTable{
+		fwd: make([]string, n), bwd: make([]string, n),
+		waitBcast: make([]string, n), bcastWire: make([]string, n),
+		gradsReady: make([]string, n), reduce: make([]string, n),
+	}
+	for l := 0; l < n; l++ {
+		d := strconv.Itoa(l)
+		t.fwd[l] = "fwd:" + d
+		t.bwd[l] = "bwd:" + d
+		t.waitBcast[l] = "wait-bcast:" + d
+		t.bcastWire[l] = "bcast:" + d
+		t.gradsReady[l] = "grads-ready:" + d
+		t.reduce[l] = "reduce:" + d
+	}
+	nb := 0
+	for _, w := range st.wl {
+		if len(w.buckets) > nb {
+			nb = len(w.buckets)
+		}
+	}
+	t.gradsReadyB = make([]string, nb)
+	t.reduceB = make([]string, nb)
+	for b := 0; b < nb; b++ {
+		d := strconv.Itoa(b)
+		t.gradsReadyB[b] = "grads-ready:b" + d
+		t.reduceB[b] = "reduce:b" + d
+	}
+	st.lbl = t
+	return t
+}
+
 // addDataWait starts an iteration: the framework's fixed per-iteration
 // overhead (untraced, as in the original accounting), then the blocking
 // read from this rank's reader queue plus the real-mode batch load.
-func (st *runState) addDataWait(g *sched.Graph, r *mpi.Rank, w *workload, it int) {
+func (st *runState) addDataWait(g *sched.Graph, r *mpi.Rank, w *workload) {
 	g.Add(0, sched.Generic, "", "iter-overhead", func(x *sched.Ctx) {
 		x.P.Sleep(st.cluster.P.IterOverhead)
 	})
@@ -218,7 +273,7 @@ func (st *runState) addDataWait(g *sched.Graph, r *mpi.Rank, w *workload, it int
 		}
 		if w.real() {
 			rankOffset := st.workerIndex(r) * w.localBatch
-			w.loadBatch(st.cfg.Dataset, it, w.localBatch*st.workerCount(), rankOffset)
+			w.loadBatch(st.cfg.Dataset, x.It, w.localBatch*st.workerCount(), rankOffset)
 		}
 	})
 }
@@ -236,7 +291,8 @@ func (st *runState) addPostPropagation(g *sched.Graph, r *mpi.Rank, w *workload)
 	}
 	drain := sched.NewSlot()
 	g.Add(0, sched.PostBcast, "", "post-bcasts", func(x *sched.Ctx) {
-		if st.isRoot(r) {
+		root := st.isRoot(r)
+		if root {
 			w.packParams()
 		}
 		for l, buf := range w.layerParam {
@@ -244,10 +300,18 @@ func (st *runState) addPostPropagation(g *sched.Graph, r *mpi.Rank, w *workload)
 				continue
 			}
 			req := x.R.Ibcast(st.comm, 0, buf, topology.ModeAuto)
-			slots[l].Put(req)
-			drain.Put(req)
+			// Each request is waited exactly where it is consumed: the
+			// root gates its update on the drain slot, non-roots gate
+			// each layer's forward on that layer's slot. Filling only
+			// the gated slot keeps re-executed (cached) graphs from
+			// accumulating requests in slots nobody resets.
+			if root {
+				drain.Put(req)
+			} else {
+				slots[l].Put(req)
+			}
 			if st.cfg.Trace != nil {
-				post, label, rank := x.P.Now(), fmt.Sprintf("bcast:%d", l), r.ID
+				post, label, rank := x.P.Now(), st.labels().bcastWire[l], r.ID
 				req.OnComplete(func() {
 					// The hook runs in kernel context at completion
 					// time, so the current virtual time IS the
@@ -270,7 +334,7 @@ func (st *runState) addOverlappedForward(g *sched.Graph, w *workload, slots []*s
 	for l := range st.cfg.Spec.Layers {
 		if w.layerParam[l] != nil && !root {
 			l := l
-			g.Add(0, sched.WaitBcast, "propagation", fmt.Sprintf("wait-bcast:%d", l), func(x *sched.Ctx) {
+			g.Add(0, sched.WaitBcast, "propagation", st.labels().waitBcast[l], func(x *sched.Ctx) {
 				w.unpackLayerParams(l)
 			}).Gated(slots[l])
 		}
@@ -288,7 +352,7 @@ func (st *runState) addForward(g *sched.Graph, w *workload) {
 
 // addForwardLayer runs one layer's forward kernel (and real math).
 func (st *runState) addForwardLayer(g *sched.Graph, w *workload, l int) *sched.Node {
-	return g.Add(0, sched.ComputeForward, "forward", fmt.Sprintf("fwd:%d", l), func(x *sched.Ctx) {
+	return g.Add(0, sched.ComputeForward, "forward", st.labels().fwd[l], func(x *sched.Ctx) {
 		flops := st.cfg.Spec.Layers[l].FwdFLOPs * float64(w.localBatch)
 		_, end := x.R.Dev.LaunchCompute(x.P.Now(), flops)
 		w.forwardLayer(l)
@@ -309,7 +373,7 @@ func (st *runState) addBackward(g *sched.Graph, w *workload) {
 // the given lane.
 func (st *runState) addBackwardLayer(g *sched.Graph, lane int, w *workload, l int) *sched.Node {
 	phase := "backward"
-	return g.Add(lane, sched.ComputeBackward, phase, fmt.Sprintf("bwd:%d", l), func(x *sched.Ctx) {
+	return g.Add(lane, sched.ComputeBackward, phase, st.labels().bwd[l], func(x *sched.Ctx) {
 		flops := st.cfg.Spec.Layers[l].BwdFLOPs * float64(w.localBatch)
 		_, end := x.R.Dev.LaunchCompute(x.P.Now(), flops)
 		w.backwardLayer(l)
@@ -328,7 +392,7 @@ func (st *runState) addDrainSends(g *sched.Graph, drain *sched.Slot) {
 // reduced gradients, run the SGD arithmetic (scaled to average the
 // per-solver mean gradients), charge the kernel time — followed by the
 // untimed bookkeeping (loss recording, testing, snapshotting).
-func (st *runState) addUpdate(g *sched.Graph, w *workload, it, workers int) {
+func (st *runState) addUpdate(g *sched.Graph, w *workload, workers int) {
 	g.Add(0, sched.Update, "update", "update", func(x *sched.Ctx) {
 		_, end := x.R.Dev.LaunchCompute(x.P.Now(), updateFLOPs(st.cfg.Spec.TotalParams()))
 		if w.real() {
@@ -337,8 +401,8 @@ func (st *runState) addUpdate(g *sched.Graph, w *workload, it, workers int) {
 			// gradients never reach the parameters (recover mode
 			// unwinds here into a micro-rollback); a quarantined
 			// batch skips its update entirely.
-			if st.integrityCheck(w, it) {
-				st.sgds[x.R.ID].Step(w.net, it, 1/float32(workers))
+			if st.integrityCheck(w, x.It) {
+				st.sgds[x.R.ID].Step(w.net, x.It, 1/float32(workers))
 				st.noteLastGood(w)
 			}
 		}
@@ -348,20 +412,20 @@ func (st *runState) addUpdate(g *sched.Graph, w *workload, it, workers int) {
 		if w.real() {
 			st.losses = append(st.losses, w.loss())
 		}
-		st.maybeEvaluate(x.R, w, it)
-		st.noteCompleted(it)
+		st.maybeEvaluate(x.R, w, x.It)
+		st.noteCompleted(x.It)
 	})
 }
 
 // addLocalUpdate applies the update on this rank (designs whose
 // replicas all hold the averaged gradient); only the root records
 // losses and runs the testing phase.
-func (st *runState) addLocalUpdate(g *sched.Graph, r *mpi.Rank, w *workload, it int) {
+func (st *runState) addLocalUpdate(g *sched.Graph, r *mpi.Rank, w *workload) {
 	g.Add(0, sched.Update, "update", "local-update", func(x *sched.Ctx) {
 		_, end := x.R.Dev.LaunchCompute(x.P.Now(), updateFLOPs(st.cfg.Spec.TotalParams()))
 		if w.real() {
 			w.unpackGrads()
-			st.sgds[r.ID].Step(w.net, it, 1/float32(st.workerCount()))
+			st.sgds[r.ID].Step(w.net, x.It, 1/float32(st.workerCount()))
 		}
 		x.P.WaitUntil(end)
 	})
@@ -373,9 +437,9 @@ func (st *runState) addLocalUpdate(g *sched.Graph, r *mpi.Rank, w *workload, it 
 			if w.real() {
 				st.losses = append(st.losses, w.loss())
 			}
-			st.maybeEvaluate(x.R, w, it)
+			st.maybeEvaluate(x.R, w, x.It)
 		}
-		st.noteCompleted(it)
+		st.noteCompleted(x.It)
 	})
 }
 

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"scaffe/internal/fault"
+	"scaffe/internal/models"
+	"scaffe/internal/trace"
+)
+
+// Differential replay: every workload below runs once under the forced
+// sequential kernel and then under the forced parallel kernel at
+// GOMAXPROCS 1, 4, and 16. The parallel-lookahead design's whole claim
+// (DESIGN.md §13) is that the two kernels are indistinguishable from
+// inside the simulation, so the comparison is byte-level: identical
+// Chrome-trace serializations (every span of every rank, in order),
+// identical virtual end times, identical per-iteration losses, and
+// identical fault/integrity reports.
+
+// runTraced runs cfg with a fresh trace recorder attached and returns
+// the result plus the serialized trace.
+func runTraced(t *testing.T, cfg Config, workers int) (*Result, []byte) {
+	t.Helper()
+	cfg.SimParallel = workers
+	cfg.Trace = trace.New()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := cfg.Trace.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("workers=%d: trace serialization: %v", workers, err)
+	}
+	return res, buf.Bytes()
+}
+
+func diffRuns(t *testing.T, name string, mk func() Config) {
+	t.Helper()
+	seq, seqTrace := runTraced(t, mk(), 1)
+	for _, procs := range []int{1, 4, 16} {
+		prev := runtime.GOMAXPROCS(procs)
+		par, parTrace := runTraced(t, mk(), 8)
+		runtime.GOMAXPROCS(prev)
+		if par.TotalTime != seq.TotalTime {
+			t.Errorf("%s @GOMAXPROCS=%d: total %d, sequential gave %d", name, procs, par.TotalTime, seq.TotalTime)
+		}
+		if len(par.Losses) != len(seq.Losses) {
+			t.Fatalf("%s @GOMAXPROCS=%d: %d losses vs %d", name, procs, len(par.Losses), len(seq.Losses))
+		}
+		for i := range par.Losses {
+			if par.Losses[i] != seq.Losses[i] {
+				t.Errorf("%s @GOMAXPROCS=%d: loss[%d] %v vs %v", name, procs, i, par.Losses[i], seq.Losses[i])
+			}
+		}
+		if !bytes.Equal(parTrace, seqTrace) {
+			t.Errorf("%s @GOMAXPROCS=%d: traces differ (%d vs %d bytes)", name, procs, len(parTrace), len(seqTrace))
+		}
+		if seq.Fault != nil {
+			if par.Fault == nil || par.Fault.String() != seq.Fault.String() {
+				t.Errorf("%s @GOMAXPROCS=%d: fault reports differ: %v vs %v", name, procs, par.Fault, seq.Fault)
+			}
+		}
+		if seq.Integrity != nil {
+			if par.Integrity == nil || *par.Integrity != *seq.Integrity {
+				t.Errorf("%s @GOMAXPROCS=%d: integrity reports differ: %+v vs %+v", name, procs, par.Integrity, seq.Integrity)
+			}
+		}
+	}
+}
+
+// TestParallelKernelGoldenWorkloads replays every golden-trace workload
+// under both kernel modes.
+func TestParallelKernelGoldenWorkloads(t *testing.T) {
+	spec, err := models.ByName("cifar10-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mk   func() Config
+	}{
+		{"scb4-real", func() Config { return goldenRealConfig(4, SCB) }},
+		{"scob4-real", func() Config { return goldenRealConfig(4, SCOB) }},
+		{"scobr4-real", func() Config { return goldenRealConfig(4, SCOBR) }},
+		{"scb8-real", func() Config { return goldenRealConfig(8, SCB) }},
+		{"scob8-real", func() Config { return goldenRealConfig(8, SCOB) }},
+		{"scobr8-real", func() Config { return goldenRealConfig(8, SCOBR) }},
+		{"scb8-timing", func() Config { return timingConfig(spec, 8, 64, 3) }},
+		{"scob8-timing", func() Config {
+			cfg := timingConfig(spec, 8, 64, 3)
+			cfg.Design = SCOB
+			return cfg
+		}},
+		{"scobrf8-timing", func() Config {
+			cfg := timingConfig(spec, 8, 64, 3)
+			cfg.Design = SCOBRF
+			return cfg
+		}},
+		{"cntk8-timing", func() Config {
+			cfg := timingConfig(spec, 8, 64, 3)
+			cfg.Design = CNTKLike
+			return cfg
+		}},
+		{"lmdb16-scobr", func() Config {
+			cfg := timingConfig(spec, 16, 128, 3)
+			cfg.Design = SCOBR
+			cfg.Source = LMDBSource
+			return cfg
+		}},
+	}
+	for _, tc := range cases {
+		// The real-data replays train on 4096 samples four times per
+		// GOMAXPROCS point; keep quick runs quick.
+		if testing.Short() && strings.HasSuffix(tc.name, "-real") {
+			continue
+		}
+		diffRuns(t, tc.name, tc.mk)
+	}
+}
+
+// TestParallelKernelFaultDrill replays a mid-run crash with elastic
+// recovery under both kernel modes (fault-armed runs keep the
+// sequential loop internally; forcing SimParallel must not change a
+// single byte of the outcome).
+func TestParallelKernelFaultDrill(t *testing.T) {
+	spec, err := models.ByName("cifar10-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := timingConfig(spec, 8, 64, 8)
+	base.Design = SCOB
+	mid := midRun(t, base, 0.5)
+	diffRuns(t, "crash-recover", func() Config {
+		cfg := timingConfig(spec, 8, 64, 8)
+		cfg.Design = SCOB
+		cfg.Faults = fault.Schedule{{At: mid, Kind: fault.Crash, Rank: 3}}
+		return cfg
+	})
+}
+
+// TestParallelKernelSDCDrill replays a wire-corruption drill with the
+// integrity plane in recover mode under both kernel modes.
+func TestParallelKernelSDCDrill(t *testing.T) {
+	diffRuns(t, "sdc-recover", func() Config {
+		cfg := tinyRealConfig(4, 32, 6)
+		cfg.Integrity = IntegrityRecover
+		cfg.Faults = fault.Schedule{{Kind: fault.CorruptWire, Src: 0, Dst: 1, N: 1}}
+		return cfg
+	})
+}
+
+// TestParallelKernelEngagement asserts the forced-parallel run above
+// actually exercised the sharded kernel rather than silently running
+// the sequential loop: a 16-rank fault-free SC-OB run must commit
+// parallel batches.
+func TestParallelKernelEngagement(t *testing.T) {
+	spec, err := models.ByName("cifar10-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := timingConfig(spec, 16, 128, 3)
+	cfg.Design = SCOB
+	cfg.SimParallel = 8
+	res, st, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("degenerate run")
+	}
+	batches, segments := st.k.Batches()
+	if batches == 0 {
+		t.Fatal("forced-parallel run committed no batches; the sharded kernel never engaged")
+	}
+	if segments < 2*batches {
+		t.Errorf("batches carried %d segments over %d batches; want >= 2 per batch", segments, batches)
+	}
+	t.Logf("committed %d batches, %d segments (%.2f avg width)", batches, segments, float64(segments)/float64(batches))
+}
+
+// TestSimParallelValidation pins the config contract: negative worker
+// counts are ErrConfig, 0 and 1 and N are accepted.
+func TestSimParallelValidation(t *testing.T) {
+	spec, _ := models.ByName("tiny")
+	cfg := timingConfig(spec, 4, 16, 2)
+	cfg.SimParallel = -1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative SimParallel should fail validation")
+	} else if !errors.Is(err, ErrConfig) {
+		t.Fatalf("negative SimParallel: got %v, want ErrConfig", err)
+	}
+	for _, n := range []int{0, 1, 2, 8} {
+		cfg := timingConfig(spec, 4, 16, 2)
+		cfg.SimParallel = n
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("SimParallel=%d: %v", n, err)
+		}
+	}
+}

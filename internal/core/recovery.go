@@ -129,7 +129,7 @@ func (st *runState) tryIteration(r *mpi.Rank, sink *nodeSink, it int) (ok bool) 
 			panic(rec)
 		}
 	}()
-	st.buildIteration(r, it).Execute(sink)
+	st.buildIteration(r).Execute(sink, it)
 	return true
 }
 

@@ -5,6 +5,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // The determinism pass guards the repo's bit-identical-replay
@@ -13,7 +14,7 @@ import (
 // order. It applies to the simulator-facing packages (internal/sim,
 // core, sched, coll, mpi) whose outputs the golden tests pin.
 //
-// Three rules:
+// Four rules:
 //
 //  1. no time.Now / time.Since — the simulator's virtual clock is the
 //     only time source;
@@ -21,7 +22,13 @@ import (
 //     seeded *rand.Rand so runs replay;
 //  3. no `range` over a map whose body feeds an ordered output (trace
 //     span emission or an MPI send) — map order is randomized per run,
-//     so the resulting span/wire order would differ run to run.
+//     so the resulting span/wire order would differ run to run;
+//  4. functions annotated //scaffe:parallel — code that runs inside the
+//     speculative part of a parallel-lookahead batch (DESIGN.md §13) —
+//     must not touch package-level variables or send on channels other
+//     than the kernel's wake/yield/home mailboxes. Speculative segments
+//     run concurrently; any shared state they reach must instead be
+//     staged on the segment or deferred behind Proc.Exclusive.
 
 // globalRandAllowed lists math/rand package functions that are pure
 // constructors and therefore deterministic to call.
@@ -29,6 +36,11 @@ var globalRandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf
 
 func runDeterminism(pkg *Pkg, report func(pos token.Pos, msg string)) {
 	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && isParallelSection(fn) && fn.Body != nil {
+				checkParallelSection(pkg, fn, report)
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch node := n.(type) {
 			case *ast.CallExpr:
@@ -90,6 +102,77 @@ func checkMapRange(pkg *Pkg, rng *ast.RangeStmt, report func(pos token.Pos, msg 
 		}
 		return true
 	})
+}
+
+// --- //scaffe:parallel -----------------------------------------------------
+
+const parallelDirective = "//scaffe:parallel"
+
+// isParallelSection reports whether a function declaration carries the
+// //scaffe:parallel annotation in its doc comment.
+func isParallelSection(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if text := strings.TrimSpace(c.Text); text == parallelDirective ||
+			strings.HasPrefix(text, parallelDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// mailboxChannels names the struct fields that are the kernel's
+// sanctioned baton channels: a proc's wake/yield pair and the kernel's
+// home channel. Sends on them are the cooperative handoff protocol
+// itself; every other send from a speculative section reaches state
+// some other segment may be touching concurrently.
+var mailboxChannels = map[string]bool{"wake": true, "yield": true, "home": true}
+
+// checkParallelSection enforces the shared-state rules inside one
+// //scaffe:parallel function: no package-level variable access, no
+// sends on non-mailbox channels.
+func checkParallelSection(pkg *Pkg, fn *ast.FuncDecl, report func(pos token.Pos, msg string)) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.Ident:
+			if v := pkgLevelVar(pkg, node); v != nil {
+				report(node.Pos(), fmt.Sprintf(
+					"%s accesses package-level variable %s; speculative segments run concurrently — stage the effect on the segment or take Proc.Exclusive first", parallelDirective, v.Name()))
+			}
+		case *ast.SendStmt:
+			if !isMailboxSend(node.Chan) {
+				report(node.Pos(), fmt.Sprintf(
+					"%s sends on a non-mailbox channel; only the kernel's wake/yield/home batons may be signalled from a speculative segment", parallelDirective))
+			}
+		}
+		return true
+	})
+}
+
+// pkgLevelVar resolves id to a package-level variable, or nil. Struct
+// fields, locals, parameters, and functions all pass.
+func pkgLevelVar(pkg *Pkg, id *ast.Ident) *types.Var {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// isMailboxSend reports whether the send target is a struct field
+// named as one of the kernel batons.
+func isMailboxSend(ch ast.Expr) bool {
+	sel, ok := ch.(*ast.SelectorExpr)
+	return ok && mailboxChannels[sel.Sel.Name]
 }
 
 // orderedSink names the ordered output a call writes to, or "".

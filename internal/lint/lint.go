@@ -4,7 +4,9 @@
 //
 //   - determinism: the simulator-facing packages must not consult wall
 //     clocks or global randomness, and must not feed unordered map
-//     iteration into ordered outputs (trace spans, wire sends).
+//     iteration into ordered outputs (trace spans, wire sends); code
+//     annotated `//scaffe:parallel` (speculative batch segments) must
+//     not touch package-level variables or non-mailbox channels.
 //   - hotpath: functions annotated `//scaffe:hotpath` must stay
 //     allocation-free (no composite-literal/make/new allocation, no
 //     append growth, no fmt, no closures, no interface boxing).
@@ -23,6 +25,11 @@
 //	//scaffe:hotpath
 //	    On a function's doc comment: the function body is subject to
 //	    the hotpath allocation rules.
+//
+//	//scaffe:parallel
+//	    On a function's doc comment: the function runs inside the
+//	    speculative part of a parallel-lookahead batch and is subject
+//	    to the determinism pass's shared-state rules.
 //
 //	//scaffe:nolint <pass> <reason>
 //	    On (or immediately above) the offending line: suppresses that
@@ -88,7 +95,7 @@ func Passes() []*Pass {
 	return []*Pass{
 		{
 			Name:    "determinism",
-			Doc:     "no wall clocks, global math/rand, or map-order-dependent ordered outputs in simulator packages",
+			Doc:     "no wall clocks, global math/rand, map-order-dependent ordered outputs, or shared state in //scaffe:parallel sections",
 			Applies: inDeterministicScope,
 			Run:     runDeterminism,
 		},

@@ -1,0 +1,52 @@
+// Package simparfix seeds //scaffe:parallel violations in the shapes
+// the parallel-lookahead kernel forbids (DESIGN.md §13): speculative
+// segments that reach package-level state or signal channels other
+// than the kernel's wake/yield/home batons. The cold twins repeat the
+// constructs without the annotation and must stay silent — shared
+// state is fine in serial context.
+package simparfix
+
+// batchCounter is the package-level state a speculative segment must
+// never touch: two segments bumping it concurrently race, and even a
+// clean read can observe another group's half-committed work.
+var batchCounter int
+
+var resultFeed = make(chan int, 8)
+
+type proc struct {
+	wake  chan struct{}
+	yield chan struct{}
+	ticks int
+}
+
+//scaffe:parallel
+func speculateLeaky(p *proc) {
+	batchCounter++ // want `package-level variable batchCounter`
+	p.ticks++
+	p.yield <- struct{}{} // mailbox baton: allowed
+}
+
+//scaffe:parallel
+func speculatePublishes(p *proc, out chan int) {
+	out <- p.ticks // want `non-mailbox channel`
+}
+
+//scaffe:parallel
+func speculateFeeds(p *proc) {
+	resultFeed <- p.ticks // want `package-level variable resultFeed` `non-mailbox channel`
+}
+
+// commitLeaky is the cold twin: same constructs, no annotation, no
+// diagnostics — the commit lane runs serially and may touch anything.
+func commitLeaky(p *proc, out chan int) {
+	batchCounter++
+	out <- p.ticks
+	resultFeed <- p.ticks
+}
+
+func drain(p *proc) {
+	for range resultFeed {
+		p.ticks--
+	}
+	<-p.wake
+}

@@ -1,0 +1,82 @@
+package mpi
+
+import (
+	"testing"
+
+	"scaffe/internal/gpu"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
+
+// haloWorld runs a small MPI program — lockstep compute, neighbour
+// halo exchange, then a world broadcast, repeated — with the event
+// kernel either sequential (workers <= 1) or armed for parallel
+// lookahead with one group per rank, exactly like the engine's group
+// policy. It returns each rank's finish time and the payload the last
+// rank ended up holding.
+func haloWorld(t *testing.T, workers, ranks, iters int) ([]sim.Time, []float32) {
+	t.Helper()
+	k := sim.New()
+	c := topology.New(k, "test", 2, (ranks+1)/2, topology.DefaultParams())
+	w := NewWorld(c, ranks)
+	if workers > 1 {
+		k.SetParallel(workers, c.MinLookahead())
+	}
+	times := make([]sim.Time, ranks)
+	var last []float32
+	comm := w.WorldComm()
+	w.Spawn(func(r *Rank) {
+		buf := gpu.WrapData(make([]float32, 512))
+		for i := range buf.Data {
+			buf.Data[i] = float32(r.ID)
+		}
+		recv := gpu.NewDataBuffer(512)
+		for iter := 0; iter < iters; iter++ {
+			r.Sleep(10 * sim.Microsecond) // rank-local compute, lockstep
+			dst := (r.ID + 1) % ranks
+			src := (r.ID + ranks - 1) % ranks
+			sreq := r.Isend(comm, dst, iter, buf, topology.ModeAuto)
+			r.Recv(comm, src, iter, recv)
+			r.Wait(sreq)
+			r.Bcast(comm, iter%ranks, buf, topology.ModeAuto)
+		}
+		times[r.ID] = r.Now()
+		if r.ID == ranks-1 {
+			last = append([]float32(nil), buf.Data...)
+		}
+	})
+	if workers > 1 {
+		for _, r := range w.Ranks {
+			r.Proc.SetGroup(r.ID)
+		}
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return times, last
+}
+
+// TestParallelWorldMatchesSequential is the MPI-layer differential
+// check for the sharded kernel: per-rank finish times and payloads
+// must be identical whether the kernel batches or not. Run by
+// scripts/check.sh under -race with batching forced, this also proves
+// the Exclusive guards at the MPI entry points serialize every touch
+// of cross-rank state.
+func TestParallelWorldMatchesSequential(t *testing.T) {
+	const ranks, iters = 8, 6
+	seqT, seqBuf := haloWorld(t, 1, ranks, iters)
+	parT, parBuf := haloWorld(t, ranks, ranks, iters)
+	for i := range seqT {
+		if parT[i] != seqT[i] {
+			t.Errorf("rank %d finished at %v parallel, %v sequential", i, parT[i], seqT[i])
+		}
+	}
+	if len(parBuf) != len(seqBuf) {
+		t.Fatalf("payload length %d vs %d", len(parBuf), len(seqBuf))
+	}
+	for i := range seqBuf {
+		if parBuf[i] != seqBuf[i] {
+			t.Fatalf("payload[%d] = %v parallel, %v sequential", i, parBuf[i], seqBuf[i])
+		}
+	}
+}

@@ -79,12 +79,16 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// Ctx is what a node's action receives: the rank the graph runs on and
+// Ctx is what a node's action receives: the rank the graph runs on,
 // the proc executing this node (the rank's main proc for lane 0, the
-// lane's own thread otherwise).
+// lane's own thread otherwise), and the iteration the graph is being
+// executed for. Graphs are built once and executed per iteration, so
+// anything iteration-dependent must come from It, not from values
+// captured at construction time.
 type Ctx struct {
-	R *mpi.Rank
-	P *sim.Proc
+	R  *mpi.Rank
+	P  *sim.Proc
+	It int
 }
 
 // Slot carries MPI requests from the node that creates them to the
@@ -114,8 +118,10 @@ type Tracer interface {
 
 // Node is one step of the iteration graph.
 type Node struct {
+	g         *Graph
 	kind      Kind
 	label     string
+	waitLabel string // label + "/wait", built lazily on first emission
 	phase     string // phase charged for action time; "" = untraced
 	waitPhase string // phase charged for dependency-wait time
 	lane      int
@@ -153,6 +159,7 @@ func (n *Node) Gated(slots ...*Slot) *Node {
 		panic(fmt.Sprintf("sched: node %q gated on lane %d; request gates need the rank's main proc", n.label, n.lane))
 	}
 	n.gates = append(n.gates, slots...)
+	n.g.slots = append(n.g.slots, slots...)
 	return n
 }
 
@@ -164,12 +171,29 @@ func (n *Node) WaitingIn(phase string) *Node {
 	return n
 }
 
-// Graph is one iteration's dependency graph for one rank.
+// Graph is one iteration's dependency graph for one rank. Building a
+// graph is pure construction — it can be reused across iterations by
+// calling Execute repeatedly with different iteration numbers.
 type Graph struct {
 	r         *mpi.Rank
 	lanes     [][]*Node
 	laneNames []string
+	joins     []*sim.Completion // per-Execute scratch
+	// slots lists every gated slot once per Gated registration, so
+	// Execute's per-iteration reset touches only the slots instead of
+	// walking every node.
+	slots []*Slot
+	// slab is the node arena: nodes are carved from fixed-size chunks
+	// instead of allocated individually, so a built graph is a handful
+	// of contiguous blocks — cheaper to allocate, cheaper for the
+	// collector to scan, and laid out in execution order for the
+	// per-iteration walk.
+	slab []Node
 }
+
+// nodeSlab is the arena chunk size; chunks must never grow in place
+// (returned *Node pointers are stable for the graph's lifetime).
+const nodeSlab = 128
 
 // New returns an empty graph for rank r with lane 0 (the rank's main
 // proc) ready.
@@ -192,26 +216,47 @@ func (g *Graph) Add(lane int, kind Kind, phase, label string, action func(*Ctx))
 	if lane < 0 || lane >= len(g.lanes) {
 		panic(fmt.Sprintf("sched: node %q on unknown lane %d", label, lane))
 	}
-	n := &Node{
-		kind: kind, label: label, phase: phase, waitPhase: phase,
-		lane: lane, index: len(g.lanes[lane]), action: action,
+	if len(g.slab) == cap(g.slab) {
+		g.slab = make([]Node, 0, nodeSlab)
 	}
+	g.slab = append(g.slab, Node{
+		g: g, kind: kind, label: label, phase: phase, waitPhase: phase,
+		lane: lane, index: len(g.lanes[lane]), action: action,
+	})
+	n := &g.slab[len(g.slab)-1]
 	g.lanes[lane] = append(g.lanes[lane], n)
 	return n
 }
 
-// Execute runs the graph to completion on the rank's procs: helper
-// lanes are spawned as rank threads, lane 0 runs inline on the calling
-// rank's main proc, and Execute returns only after every lane's last
-// node has finished. tracer may be nil.
-func (g *Graph) Execute(tracer Tracer) {
+// Execute runs the graph to completion on the rank's procs for
+// iteration it: helper lanes are spawned as rank threads, lane 0 runs
+// inline on the calling rank's main proc, and Execute returns only
+// after every lane's last node has finished. tracer may be nil.
+//
+// A graph may be executed repeatedly (the engine caches one graph per
+// rank and re-runs it every iteration): each Execute resets the gate
+// slots, and — on multi-lane graphs — re-initializes the per-node
+// completions, whose generation bump dissolves any reference left over
+// from an abandoned (Revoked-unwound) previous execution. Single-lane
+// graphs have no cross-lane edges and skip completions entirely.
+func (g *Graph) Execute(tracer Tracer, it int) {
 	k := g.r.W.K
-	for _, lane := range g.lanes {
-		for _, n := range lane {
-			n.done = k.GetCompletion()
+	multiLane := len(g.lanes) > 1
+	for _, s := range g.slots {
+		s.reqs = s.reqs[:0]
+	}
+	if multiLane {
+		for _, lane := range g.lanes {
+			for _, n := range lane {
+				if n.done == nil {
+					n.done = k.NewCompletion()
+				} else {
+					n.done.Init(k)
+				}
+			}
 		}
 	}
-	joins := make([]*sim.Completion, 0, len(g.lanes)-1)
+	joins := g.joins[:0]
 	for li := 1; li < len(g.lanes); li++ {
 		nodes := g.lanes[li]
 		if len(nodes) == 0 {
@@ -227,53 +272,79 @@ func (g *Graph) Execute(tracer Tracer) {
 					panic(rec)
 				}
 			}()
+			ctx := Ctx{R: g.r, P: p, It: it}
 			for _, n := range nodes {
-				g.runNode(n, p, tracer)
+				g.runNode(n, &ctx, tracer)
 			}
 		})
 	}
+	g.joins = joins
+	ctx := Ctx{R: g.r, P: g.r.Proc, It: it}
 	for _, n := range g.lanes[0] {
-		g.runNode(n, g.r.Proc, tracer)
+		g.runNode(n, &ctx, tracer)
 	}
 	// Safety net: a well-formed graph orders lane 0 after its helpers
 	// (SC-OBR's join node), making these waits free.
 	for _, j := range joins {
 		g.r.WaitDep(g.r.Proc, j)
 	}
-	// Every node has fired by now (each lane runs in insertion order and
-	// the joins cover each helper lane's last node), so the completions
-	// can be recycled. A Revoked unwind skips this and abandons them to
-	// the collector, which is safe: the generation bump on reuse
-	// dissolves any reference that survived.
-	for _, lane := range g.lanes {
-		for _, n := range lane {
-			k.PutCompletion(n.done)
-			n.done = nil
-		}
-	}
 }
 
 // runNode waits the node's dependencies and gates, runs its action,
-// emits trace spans, and fires its completion.
-func (g *Graph) runNode(n *Node, p *sim.Proc, tracer Tracer) {
+// emits trace spans, and fires its completion. The untraced path skips
+// all timestamp bookkeeping — it exists only to position spans.
+func (g *Graph) runNode(n *Node, ctx *Ctx, tracer Tracer) {
+	p := ctx.P
+	if tracer == nil {
+		for _, d := range n.deps {
+			// Lane-0 predecessors have almost always fired already;
+			// checking inline skips two call frames per satisfied edge.
+			if !d.done.Fired() {
+				g.r.WaitDep(p, d.done)
+			}
+		}
+		for _, s := range n.gates {
+			for _, req := range s.reqs {
+				g.r.Wait(req)
+			}
+		}
+		if n.action != nil {
+			n.action(ctx)
+		}
+		if n.done != nil {
+			n.done.FireFrom(p)
+		}
+		return
+	}
 	start := p.Now()
 	for _, d := range n.deps {
-		g.r.WaitDep(p, d.done)
+		if !d.done.Fired() {
+			g.r.WaitDep(p, d.done)
+		}
 	}
 	for _, s := range n.gates {
 		for _, req := range s.reqs {
 			g.r.Wait(req)
 		}
 	}
-	if waited := p.Now(); waited > start && tracer != nil && n.waitPhase != "" {
-		tracer.NodeSpan(n.lane, n.kind, n.waitPhase, n.label+"/wait", start, waited)
+	if waited := p.Now(); waited > start && n.waitPhase != "" {
+		// The shared trace sink is outside every group: a batched
+		// segment serializes before emitting.
+		p.Exclusive()
+		if n.waitLabel == "" {
+			n.waitLabel = n.label + "/wait"
+		}
+		tracer.NodeSpan(n.lane, n.kind, n.waitPhase, n.waitLabel, start, waited)
 	}
 	at := p.Now()
 	if n.action != nil {
-		n.action(&Ctx{R: g.r, P: p})
+		n.action(ctx)
 	}
-	if end := p.Now(); end > at && tracer != nil && n.phase != "" {
+	if end := p.Now(); end > at && n.phase != "" {
+		p.Exclusive()
 		tracer.NodeSpan(n.lane, n.kind, n.phase, n.label, at, end)
 	}
-	n.done.Fire()
+	if n.done != nil {
+		n.done.FireFrom(p)
+	}
 }

@@ -53,7 +53,7 @@ func TestLaneZeroRunsInInsertionOrder(t *testing.T) {
 			order = append(order, "b")
 			x.P.Sleep(5)
 		})
-		g.Execute(tr)
+		g.Execute(tr, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -91,7 +91,7 @@ func TestCrossLaneDependencyAndWaitPhase(t *testing.T) {
 		g.Add(0, Reduce, "aggregation", "reduce", func(x *Ctx) {
 			x.P.Sleep(7)
 		}).After(hw).WaitingIn("backward")
-		g.Execute(tr)
+		g.Execute(tr, 0)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -120,7 +120,7 @@ func TestExecuteJoinsUnreferencedHelperLane(t *testing.T) {
 		helper := g.Lane("helper")
 		g.Add(helper, Generic, "", "slow", func(x *Ctx) { x.P.Sleep(100) })
 		g.Add(0, Generic, "", "fast", func(x *Ctx) { x.P.Sleep(1) })
-		g.Execute(nil)
+		g.Execute(nil, 0)
 		// Execute must not return before the helper lane finishes.
 		if r.Now() != 100 {
 			t.Errorf("Execute returned at %v, want 100", r.Now())
@@ -150,7 +150,7 @@ func TestRequestGateWaitsTransfer(t *testing.T) {
 			slot.Put(x.R.Isend(comm, 1, 9, gpu.NewBuffer(bytes), topology.ModeAuto))
 		})
 		g.Add(0, DrainSends, "propagation", "drain", nil).Gated(slot)
-		g.Execute(tr)
+		g.Execute(tr, 0)
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -68,6 +68,20 @@ type Kernel struct {
 	stopped  bool
 	failure  error
 	compPool []*Completion
+
+	// home returns the baton to the Run goroutine when the event loop —
+	// which migrates across proc goroutines (see loopFrom) — reaches a
+	// terminal state on one of them.
+	home chan struct{}
+
+	// serialResume switches parking procs back to the classic
+	// yield-to-resumer protocol: set while the parallel kernel's commit
+	// loop (or a worker) drives procs with resume(), when a parking proc
+	// must hand control back to its resumer instead of running the event
+	// loop itself.
+	serialResume bool
+
+	par *parKernel // parallel-lookahead state; nil in sequential mode
 }
 
 // New returns a fresh kernel at virtual time zero.
@@ -156,42 +170,107 @@ func (k *Kernel) popEvent() event {
 	return k.cal.pop()
 }
 
-// dispatch executes one event record.
-//
-//scaffe:hotpath
-func (k *Kernel) dispatch(ev event) {
-	switch ev.kind {
-	case evFunc:
-		ev.fn()
-	case evResume:
-		k.resume(ev.p)
-	case evResumeIf:
-		k.resumeIf(ev.p, ev.aux)
-	case evFire:
-		ev.c.FireIf(ev.aux)
-	case evRun:
-		ev.run.RunEvent(k)
-	}
-}
-
 // pending returns the number of queued events.
 func (k *Kernel) pending() int { return k.nowQ.len() + k.cal.count }
+
+// loopState is loopFrom's verdict on where control went.
+type loopState int
+
+const (
+	// loopHanded: the baton was handed to another proc via its wake
+	// channel; the caller must block (or, for a finishing proc, exit).
+	loopHanded loopState = iota
+	// loopSelf: the next event resumes the calling proc itself; no
+	// channel round-trip is needed — the caller just keeps running.
+	loopSelf
+	// loopTerminal: no events remain, Stop was called, the deadline
+	// passed, or a failure was recorded. The caller must return the
+	// baton to the Run goroutine (k.home) unless it is the Run
+	// goroutine.
+	loopTerminal
+)
+
+// loopFrom runs the event loop on the current goroutine until control
+// is handed off or the simulation terminates. The loop migrates: when
+// an event resumes a proc, the loop stops here and continues inside
+// that proc's goroutine the next time it parks — a parking proc calls
+// loopFrom itself instead of yielding to a central scheduler, halving
+// the goroutine switches per segment. self is the calling proc (nil
+// when called from Run or a finishing proc) and enables the zero-switch
+// fast path when the next event resumes the caller.
+//
+// Exactly one goroutine executes loopFrom at any moment — control
+// passes through an unbroken chain of channel operations — so kernel
+// state needs no locking and event order is identical to the classic
+// central loop.
+func (k *Kernel) loopFrom(self *Proc) loopState {
+	for {
+		if k.stopped || k.failure != nil {
+			return loopTerminal
+		}
+		if k.nowQ.len() == 0 && k.cal.count == 0 {
+			return loopTerminal
+		}
+		ev := k.popEvent()
+		if ev.at > k.maxTime {
+			k.failure = fmt.Errorf("sim: deadline exceeded at %v (deadline %v)", ev.at, k.maxTime)
+			return loopTerminal
+		}
+		k.now = ev.at
+		switch ev.kind {
+		case evResume:
+			p := ev.p
+			if p.finished {
+				continue
+			}
+			if p == self {
+				return loopSelf
+			}
+			if k.par != nil && k.par.batchable(ev) {
+				k.par.runBatch(ev, self)
+				continue
+			}
+			p.wake <- struct{}{}
+			return loopHanded
+		case evResumeIf:
+			p := ev.p
+			if p.finished || !p.waitArmed || p.waitSeq != ev.aux {
+				continue // stale wake: the proc timed out or moved on
+			}
+			if p == self {
+				return loopSelf
+			}
+			if k.par != nil && k.par.batchable(ev) {
+				k.par.runBatch(ev, self)
+				continue
+			}
+			p.wake <- struct{}{}
+			return loopHanded
+		case evFunc:
+			ev.fn()
+		case evFire:
+			ev.c.FireIf(ev.aux)
+		case evRun:
+			ev.run.RunEvent(k)
+		}
+	}
+}
 
 // Run executes the event loop until no events remain, then verifies
 // that every spawned proc has finished. It returns an error on
 // deadlock (procs remain parked with no pending events) or if the
 // deadline set by SetDeadline is exceeded.
 func (k *Kernel) Run() error {
-	for k.pending() > 0 && !k.stopped {
-		ev := k.popEvent()
-		if ev.at > k.maxTime {
-			return fmt.Errorf("sim: deadline exceeded at %v (deadline %v)", ev.at, k.maxTime)
-		}
-		k.now = ev.at
-		k.dispatch(ev)
-		if k.failure != nil {
-			return k.failure
-		}
+	if k.home == nil {
+		k.home = make(chan struct{})
+	}
+	if k.loopFrom(nil) == loopHanded {
+		// The loop migrated onto proc goroutines; whichever one reaches
+		// a terminal state sends the baton home.
+		<-k.home
+	}
+	if k.failure != nil {
+		return k.failure
 	}
 	if k.live > 0 {
 		var stuck []string
@@ -219,6 +298,7 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		name:  name,
 		wake:  make(chan struct{}),
 		yield: make(chan struct{}),
+		group: -1,
 	}
 	k.procs = append(k.procs, p)
 	k.live++
@@ -228,12 +308,35 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 			// the process: Run surfaces it as an error. The kill
 			// sentinel is the exception — a killed proc is a normal
 			// (if abrupt) exit.
-			if rec := recover(); rec != nil && !IsKilled(rec) && k.failure == nil {
-				k.failure = fmt.Errorf("sim: proc %q panicked at %v: %v\n%s", p.name, k.now, rec, debug.Stack())
+			rec := recover()
+			var fail error
+			if rec != nil && !IsKilled(rec) {
+				fail = fmt.Errorf("sim: proc %q panicked at %v: %v\n%s", p.name, k.now, rec, debug.Stack())
 			}
 			p.finished = true
+			if s := p.stage; s != nil {
+				// Finishing inside a batch's concurrent part: stage the
+				// bookkeeping for the commit loop (which applies it in
+				// exact global order) and hand the baton to the batch
+				// driver.
+				s.finishing = true
+				s.failure = fail
+				p.yield <- struct{}{}
+				return
+			}
+			if fail != nil && k.failure == nil {
+				k.failure = fail
+			}
 			k.live--
-			p.yield <- struct{}{} // hand the baton back for the last time
+			if k.serialResume {
+				p.yield <- struct{}{} // the commit loop's resume is waiting
+				return
+			}
+			// The finishing proc owns the baton: keep driving the event
+			// loop here, exactly as park does.
+			if k.loopFrom(nil) == loopTerminal {
+				k.home <- struct{}{}
+			}
 		}()
 		<-p.wake // wait for the kernel to hand us the baton
 		if p.killed {

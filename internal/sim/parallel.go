@@ -1,0 +1,272 @@
+package sim
+
+// This file implements conservative parallel-lookahead execution: the
+// event kernel shards same-instant proc resumes across goroutines while
+// staying bit-identical to sequential replay (DESIGN.md §13).
+//
+// The conservative window is one instant wide. A batch is formed from
+// the maximal consecutive run of due events that
+//
+//   - are proc resumes (evResume / evResumeIf with a live guard),
+//   - are all due at exactly the current instant T,
+//   - target procs in pairwise-distinct non-negative groups, and
+//   - do not target the proc currently driving the loop.
+//
+// Any other event — a timer callback, a transfer delivery, a resume of
+// a serial-only (group < 0) proc, a second resume of an already-batched
+// group — cuts the batch and is processed by the ordinary loop in its
+// exact (time, seq) position.
+//
+// Each batched proc then runs its segment speculatively on its own
+// goroutine. The speculative part may touch only its group's state;
+// kernel-visible side effects (self-wakes, guarded resumes, completion
+// fires) are recorded on the proc's stage instead of the shared event
+// queue. Three things end the speculative part:
+//
+//   - a park at a point where the sequential kernel provably parks too
+//     (a future-time wake, an un-fired wait re-checked under the
+//     staleness rule in Proc.Wait),
+//   - a call to Proc.Exclusive — the escape hatch taken before any
+//     touch of cross-group state (MPI mailboxes, shared link
+//     resources, the trace sink), which defers the rest of the segment
+//     to the serialized commit lane, or
+//   - the proc finishing (Spawn's defer stages the bookkeeping).
+//
+// After every speculative part has yielded, the commit loop walks the
+// batch in pop order — which is exactly sequential order — and, per
+// segment: replays the staged events (assigning them the same sequence
+// numbers sequential execution would have), then, if the segment was
+// demoted, resumes the proc serially so its tail runs with full state
+// visibility. Because groups partition speculative state, a segment's
+// speculative part reads exactly the state it would have read
+// sequentially, and the commit loop emits exactly the schedule
+// sequential execution emits; traces, totals, and failure order are
+// therefore bit-identical at any GOMAXPROCS.
+//
+// The link-latency lookahead from the topology layer guards the one
+// remaining channel between groups: a staged event targeting a
+// different group must land at least the minimum lookahead after the
+// batch instant (a transfer can not land earlier than the wire allows).
+// The commit loop asserts this, so a group-policy bug fails loudly
+// instead of silently reordering.
+
+// parSegment is one proc's slice of a batch: the staging buffer for
+// kernel-visible side effects plus the flags the commit loop applies in
+// order. Each proc embeds one (Proc.seg), so batches allocate nothing
+// in steady state.
+type parSegment struct {
+	p      *Proc
+	staged []event
+	// tail marks a segment demoted by Exclusive: the proc is blocked at
+	// the demotion point and the commit loop must resume it serially.
+	tail bool
+	// finishing/failure carry a proc exit (return, kill, or panic) that
+	// happened during the speculative part; the commit loop applies the
+	// live-count decrement and first-failure-wins in batch order.
+	finishing bool
+	failure   error
+}
+
+// add stages a kernel-visible side effect; e.at carries the target
+// time (the sequence number is assigned at commit). The buffer grows
+// to the segment's high-water mark once and is reused ever after.
+//
+//scaffe:parallel
+func (s *parSegment) add(e event) { s.staged = append(s.staged, e) }
+
+// parKernel is the kernel's parallel-lookahead state.
+type parKernel struct {
+	k *Kernel
+	// width caps the number of concurrent segments per batch (the
+	// configured worker count).
+	width int
+	// lookahead is the minimum cross-group event horizon, from
+	// topology.MinLookahead. Batches are only safe because no staged
+	// cross-group event can land closer than this.
+	lookahead Duration
+	batch     []*parSegment
+	// stamp[g] == stampGen marks group g as already represented in the
+	// batch being formed; bumping stampGen clears all marks in O(1).
+	stamp    []uint64
+	stampGen uint64
+	// batches/segments count committed batches and their segments, for
+	// tests and utilization reporting.
+	batches  uint64
+	segments uint64
+}
+
+// SetParallel arms conservative parallel-lookahead execution with up to
+// `workers` concurrent segments per batch. lookahead must be the
+// minimum cross-group event horizon (topology.Cluster.MinLookahead for
+// MPI workloads); parallel execution stays disarmed — the kernel runs
+// its ordinary sequential loop — when workers <= 1 or lookahead <= 0,
+// because a zero horizon would let one group schedule into another
+// within the batch instant. Call before Run; procs opt in via
+// Proc.SetGroup.
+func (k *Kernel) SetParallel(workers int, lookahead Duration) {
+	if workers <= 1 || lookahead <= 0 {
+		k.par = nil
+		return
+	}
+	k.par = &parKernel{k: k, width: workers, lookahead: lookahead}
+}
+
+// Parallel returns the armed batch width (0 = sequential).
+func (k *Kernel) Parallel() int {
+	if k.par == nil {
+		return 0
+	}
+	return k.par.width
+}
+
+// Batches returns how many parallel batches have been committed and
+// how many segments they carried in total.
+func (k *Kernel) Batches() (batches, segments uint64) {
+	if k.par == nil {
+		return 0, 0
+	}
+	return k.par.batches, k.par.segments
+}
+
+// peekEvent returns the event popEvent would return, without removing
+// it. Same two-tier rule: a due calendar event precedes the ring.
+func (k *Kernel) peekEvent() (event, bool) {
+	if t, ok := k.cal.minTime(); ok && t <= k.now {
+		return k.cal.peek(), true
+	}
+	if k.nowQ.len() > 0 {
+		return k.nowQ.peek(), true
+	}
+	if k.cal.count > 0 {
+		return k.cal.peek(), true
+	}
+	return event{}, false
+}
+
+// batchable reports whether ev (a live proc resume already popped by
+// the loop) should open a batch: its target is grouped and the next
+// due event is a same-instant resume of a different group. Singleton
+// batches are pointless — the ordinary handoff is cheaper — so they
+// never form.
+//
+//scaffe:hotpath
+func (pk *parKernel) batchable(ev event) bool {
+	if ev.p.group < 0 {
+		return false
+	}
+	pe, ok := pk.k.peekEvent()
+	if !ok || pe.at != ev.at {
+		return false
+	}
+	if pe.kind != evResume && pe.kind != evResumeIf {
+		return false
+	}
+	return pe.p.group >= 0 && pe.p.group != ev.p.group
+}
+
+// stamped reports whether group g already owns a segment in the batch
+// being formed.
+func (pk *parKernel) stamped(g int) bool {
+	return g < len(pk.stamp) && pk.stamp[g] == pk.stampGen
+}
+
+// addSeg claims group g's slot in the forming batch and enrolls p's
+// embedded segment.
+func (pk *parKernel) addSeg(p *Proc) {
+	for p.group >= len(pk.stamp) {
+		pk.stamp = append(pk.stamp, 0)
+	}
+	pk.stamp[p.group] = pk.stampGen
+	s := &p.seg
+	s.p = p
+	pk.batch = append(pk.batch, s)
+}
+
+// runBatch forms a batch seeded by first (already popped), runs every
+// segment's speculative part concurrently, and commits in exact global
+// order. self is the proc driving the loop (nil from Run); its own
+// resumes never join a batch. On return every batched event has been
+// fully processed.
+func (pk *parKernel) runBatch(first event, self *Proc) {
+	k := pk.k
+	pk.stampGen++
+	pk.batch = pk.batch[:0]
+	pk.addSeg(first.p)
+
+	// Form: extend with the consecutive run of conforming events.
+	// Dissolving events (a resume of a finished proc, a stale guarded
+	// resume) are popped and dropped exactly as the ordinary loop
+	// drops them; anything else ends the batch.
+	for len(pk.batch) < pk.width {
+		pe, ok := k.peekEvent()
+		if !ok || pe.at != k.now {
+			break
+		}
+		if pe.kind == evResume {
+			if pe.p.finished {
+				k.popEvent()
+				continue
+			}
+		} else if pe.kind == evResumeIf {
+			if pe.p.finished || !pe.p.waitArmed || pe.p.waitSeq != pe.aux {
+				k.popEvent()
+				continue
+			}
+		} else {
+			break
+		}
+		p := pe.p
+		if p == self || p.group < 0 || pk.stamped(p.group) {
+			break
+		}
+		k.popEvent()
+		pk.addSeg(p)
+	}
+
+	// Speculate: release every segment's proc at once, then wait for
+	// each to yield (park, demote, or finish). The procs run on their
+	// own goroutines; this goroutine just holds the baton.
+	for _, s := range pk.batch {
+		s.p.stage = s
+	}
+	for _, s := range pk.batch {
+		s.p.wake <- struct{}{}
+	}
+	for _, s := range pk.batch {
+		<-s.p.yield
+	}
+
+	// Commit: batch order is pop order is sequential order.
+	for _, s := range pk.batch {
+		p := s.p
+		p.stage = nil
+		for i := range s.staged {
+			e := s.staged[i]
+			s.staged[i] = event{}
+			if (e.kind == evResume || e.kind == evResumeIf) &&
+				e.p.group >= 0 && e.p.group != p.group && e.at < k.now+pk.lookahead {
+				panic("sim: parallel segment staged a cross-group event inside the lookahead window (group policy violation)")
+			}
+			k.schedule(e.at, e)
+		}
+		s.staged = s.staged[:0]
+		if s.tail {
+			s.tail = false
+			k.serialResume = true
+			k.resume(p)
+			k.serialResume = false
+		}
+		if s.finishing {
+			s.finishing = false
+			k.live--
+			if s.failure != nil {
+				if k.failure == nil {
+					k.failure = s.failure
+				}
+				s.failure = nil
+			}
+		}
+	}
+	pk.batches++
+	pk.segments += uint64(len(pk.batch))
+}

@@ -112,6 +112,10 @@ func (r *nowRing) pop() event {
 	return e
 }
 
+// peek returns the oldest event without removing it. The ring must be
+// non-empty.
+func (r *nowRing) peek() event { return r.buf[r.head] }
+
 // grow doubles the ring (cold path: runs O(log n) times ever).
 func (r *nowRing) grow() {
 	size := 2 * len(r.buf)
@@ -131,8 +135,16 @@ const minBuckets = 16
 // calendarQueue holds future events bucketed by time. count/width
 // resize keeps O(1) amortized operations; the cached minimum makes
 // the peek in the kernel's pop rule free in the common case.
+//
+// Each bucket is consumed through a head cursor (heads[i]) instead of
+// shifting the slice on every pop: with a same-instant wave of many
+// events landing in one bucket (a 1024-rank compute phase), shifting
+// would make draining the bucket quadratic. The live window of bucket
+// i is buckets[i][heads[i]:]; the dead prefix is compacted away when
+// an insert needs room.
 type calendarQueue struct {
 	buckets [][]event
+	heads   []int
 	mask    int
 	width   Time
 	count   int
@@ -162,13 +174,25 @@ func (q *calendarQueue) insert(e event) {
 	}
 	b := int(e.at/q.width) & q.mask
 	bk := q.buckets[b]
+	h := q.heads[b]
 	n := len(bk)
 	if n == cap(bk) {
-		bk = growEvents(bk)
+		if h > 0 {
+			// Reclaim the dead prefix before growing: slide the live
+			// window to the front.
+			n = copy(bk, bk[h:])
+			for i := n; i < len(bk); i++ {
+				bk[i] = event{}
+			}
+			bk = bk[:n]
+			h = 0
+			q.heads[b] = 0
+		} else {
+			bk = growEvents(bk)
+		}
 	}
-	bk = bk[: n+1 : cap(bk)]
-	// Binary search for the insertion point.
-	lo, hi := 0, n
+	// Binary search for the insertion point within the live window.
+	lo, hi := h, n
 	for lo < hi {
 		m := int(uint(lo+hi) >> 1)
 		if eventLess(e, bk[m]) {
@@ -177,12 +201,21 @@ func (q *calendarQueue) insert(e event) {
 			lo = m + 1
 		}
 	}
-	copy(bk[lo+1:], bk[lo:n])
-	bk[lo] = e
+	if h > 0 && lo-h <= n-lo {
+		// Shifting the (shorter) left side into the dead prefix avoids
+		// touching the tail; the window grows one slot leftward.
+		copy(bk[h-1:], bk[h:lo])
+		bk[lo-1] = e
+		q.heads[b] = h - 1
+	} else {
+		bk = bk[: n+1 : cap(bk)]
+		copy(bk[lo+1:], bk[lo:n])
+		bk[lo] = e
+	}
 	q.buckets[b] = bk
 	q.count++
 	if q.cacheOK && (e.at < q.cacheAt || (e.at == q.cacheAt && e.seq < q.cacheSeq)) {
-		// A new global minimum always lands at index 0 of its bucket.
+		// A new global minimum always lands at the head of its bucket.
 		q.cacheBucket, q.cacheAt, q.cacheSeq = b, e.at, e.seq
 	}
 	if q.count > 2*len(q.buckets) {
@@ -190,23 +223,47 @@ func (q *calendarQueue) insert(e event) {
 	}
 }
 
-// pop removes and returns the minimum event.
+// pop removes and returns the minimum event. Removal advances the
+// bucket's head cursor (O(1)); when the next event in the same bucket
+// still lies inside the popped event's calendar month, it is provably
+// the new global minimum (same argument as locate's year scan), so the
+// cache survives the pop and draining a same-month wave of n events
+// costs O(n) total.
 //
 //scaffe:hotpath
 func (q *calendarQueue) pop() event {
 	q.locate()
-	bk := q.buckets[q.cacheBucket]
-	e := bk[0]
-	n := len(bk)
-	copy(bk, bk[1:])
-	bk[n-1] = event{}
-	q.buckets[q.cacheBucket] = bk[:n-1]
+	b := q.cacheBucket
+	bk := q.buckets[b]
+	h := q.heads[b]
+	e := bk[h]
+	bk[h] = event{}
+	h++
+	if h == len(bk) {
+		q.buckets[b] = bk[:0]
+		q.heads[b] = 0
+		h = len(bk) // empty window below
+	} else {
+		q.heads[b] = h
+	}
 	q.count--
-	q.cacheOK = false
+	if h < len(bk) && bk[h].at < (e.at/q.width+1)*q.width {
+		q.cacheAt, q.cacheSeq = bk[h].at, bk[h].seq
+		q.lastAt = bk[h].at
+	} else {
+		q.cacheOK = false
+	}
 	if q.count < len(q.buckets)/4 && len(q.buckets) > minBuckets {
 		q.resize(len(q.buckets) / 2)
 	}
 	return e
+}
+
+// peek returns the minimum event without removing it. The queue must
+// be non-empty.
+func (q *calendarQueue) peek() event {
+	q.locate()
+	return q.buckets[q.cacheBucket][q.heads[q.cacheBucket]]
 }
 
 // minTime reports the (time) of the minimum event, if any.
@@ -238,9 +295,9 @@ func (q *calendarQueue) locate() {
 	top := (year + 1) * w
 	for range q.buckets {
 		bk := q.buckets[i]
-		if len(bk) > 0 && bk[0].at < top {
-			q.cacheOK, q.cacheBucket, q.cacheAt, q.cacheSeq = true, i, bk[0].at, bk[0].seq
-			q.lastAt = bk[0].at
+		if h := q.heads[i]; h < len(bk) && bk[h].at < top {
+			q.cacheOK, q.cacheBucket, q.cacheAt, q.cacheSeq = true, i, bk[h].at, bk[h].seq
+			q.lastAt = bk[h].at
 			return
 		}
 		i = (i + 1) & q.mask
@@ -248,22 +305,58 @@ func (q *calendarQueue) locate() {
 	}
 	best := -1
 	for bi := range q.buckets {
+		h := q.heads[bi]
 		bk := q.buckets[bi]
-		if len(bk) == 0 {
+		if h >= len(bk) {
 			continue
 		}
-		if best < 0 || eventLess(bk[0], q.buckets[best][0]) {
+		if best < 0 || eventLess(bk[h], q.buckets[best][q.heads[best]]) {
 			best = bi
 		}
 	}
+	h := q.heads[best]
 	bk := q.buckets[best]
-	q.cacheOK, q.cacheBucket, q.cacheAt, q.cacheSeq = true, best, bk[0].at, bk[0].seq
-	q.lastAt = bk[0].at
+	q.cacheOK, q.cacheBucket, q.cacheAt, q.cacheSeq = true, best, bk[h].at, bk[h].seq
+	q.lastAt = bk[h].at
 }
 
-// reinit replaces the bucket table (cold path).
+// reinit replaces the bucket table (cold path). Bucket backing arrays
+// are recycled across resizes: a same-instant wave repeatedly grows one
+// bucket to the wave size, and reallocating every bucket from scratch
+// on each resize made that growth a dominant allocation source. The
+// recycled arrays keep their high-water capacity; stale values beyond
+// the emptied length are never read (the live window is [head:len)) and
+// are overwritten or zeroed by pops as the slots are reused.
 func (q *calendarQueue) reinit(nbuckets int, width Time) {
-	q.buckets = make([][]event, nbuckets)
+	old := q.buckets
+	if cap(old) >= nbuckets {
+		if len(old) > nbuckets {
+			// Shrinking: empty the dropped tail headers in place, so a
+			// later regrow through the shared backing array can never
+			// resurrect stale contents (headers beyond the table length
+			// are always length-zero).
+			tail := old[nbuckets:]
+			for i := range tail {
+				tail[i] = tail[i][:0]
+			}
+		}
+		q.buckets = old[:nbuckets]
+	} else {
+		nb := make([][]event, nbuckets)
+		copy(nb, old)
+		q.buckets = nb
+	}
+	for i := range q.buckets {
+		q.buckets[i] = q.buckets[i][:0]
+	}
+	if cap(q.heads) >= nbuckets {
+		q.heads = q.heads[:nbuckets]
+		for i := range q.heads {
+			q.heads[i] = 0
+		}
+	} else {
+		q.heads = make([]int, nbuckets)
+	}
 	q.mask = nbuckets - 1
 	q.width = width
 	q.count = 0
@@ -276,8 +369,8 @@ func (q *calendarQueue) reinit(nbuckets int, width Time) {
 // resize identically.
 func (q *calendarQueue) resize(nb int) {
 	all := q.spill[:0]
-	for _, bk := range q.buckets {
-		all = append(all, bk...)
+	for bi, bk := range q.buckets {
+		all = append(all, bk[q.heads[bi]:]...)
 	}
 	var minAt, maxAt Time
 	for i, e := range all {

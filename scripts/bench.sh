@@ -28,7 +28,7 @@ go test -run '^$' -bench "$filter" -benchtime "$benchtime" -benchmem $pkgs | tee
 # error, skipped) would otherwise leave a hole in the perf trajectory.
 if [ "$filter" = "." ] && [ "$pkgs" = "./..." ]; then
     missing=0
-    for want in BenchmarkFigure11FullScale160 BenchmarkSimKernel BenchmarkScaleSweep; do
+    for want in BenchmarkFigure11FullScale160 BenchmarkSimKernel BenchmarkSimKernelParallel BenchmarkScaleSweep; do
         if ! grep -q "^$want" "$raw"; then
             echo "bench.sh: required benchmark $want missing from output" >&2
             missing=1
@@ -37,9 +37,18 @@ if [ "$filter" = "." ] && [ "$pkgs" = "./..." ]; then
     [ "$missing" -eq 0 ] || exit 1
 fi
 
+# Resolve the commit strictly after the run, and flag a dirty tree:
+# a measurement taken before its change is committed must not
+# masquerade as the parent commit's numbers (BENCH_2026-08-07.json
+# originally pinned the seed commit this way).
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if [ "$commit" != unknown ] && ! git diff --quiet HEAD 2>/dev/null; then
+    commit="${commit}-dirty"
+fi
+
 awk -v date="$(date +%F)" \
     -v gover="$(go version | awk '{print $3}')" \
-    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+    -v commit="$commit" '
 BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchmarks\": [", date, gover, commit
     n = 0
