@@ -62,6 +62,9 @@ func BenchmarkExtFaultRecovery(b *testing.B) {
 func BenchmarkExtSDC(b *testing.B) {
 	runExperiment(b, "sdc", experiments.Options{Iterations: 24})
 }
+func BenchmarkExtElastic(b *testing.B) {
+	runExperiment(b, "elastic", experiments.Options{Iterations: 24})
+}
 
 // BenchmarkReduce256MB160GPUs measures the headline reduction point
 // (256 MB over 160 GPUs) per algorithm, reporting the virtual latency.

@@ -220,10 +220,24 @@ func main() {
 	if res.Fault != nil {
 		fmt.Printf("faults: %v\n", res.Fault)
 		for i, rec := range res.Fault.Recoveries {
-			fmt.Printf("  recovery %d: rank %d (%v) failed at %v, detected in %v, recovered in %v; resumed iteration %d on %d survivors (rolled back: %v)\n",
+			if rec.Kind == scaffe.FaultEvict {
+				// Evictions are initiated, not detected: no detection
+				// latency to report.
+				fmt.Printf("  shrink %d: rank %d evicted at %v, world rebuilt in %v; resumed iteration %d on %d members (rolled back: %v)\n",
+					i, rec.Rank, rec.FailedAt, rec.RecoveryTime(),
+					rec.RestartIter, rec.Survivors, rec.RolledBack)
+				continue
+			}
+			fmt.Printf("  shrink %d: rank %d (%v) failed at %v, detected in %v, recovered in %v; resumed iteration %d on %d survivors (rolled back: %v)\n",
 				i, rec.Rank, rec.Kind, rec.FailedAt, rec.DetectionLatency(), rec.RecoveryTime(),
 				rec.RestartIter, rec.Survivors, rec.RolledBack)
 		}
+		for i, j := range res.Fault.Joins {
+			fmt.Printf("  grow %d: rank %d announced at %v, admitted in %v after %d attempts (%d requeues); resumed iteration %d on %d members\n",
+				i, j.Rank, j.AnnouncedAt, j.AdmissionLatency(), j.Attempts, j.Requeues,
+				j.RestartIter, j.WorldSize)
+		}
+		fmt.Printf("final world size: %d of %d ranks\n", res.Fault.Survivors, res.GPUs)
 	}
 	if res.Integrity != nil {
 		fmt.Printf("integrity: %v\n", res.Integrity)

@@ -206,6 +206,22 @@ type Config struct {
 	// (default fault.DefaultTimeout).
 	FaultTimeout sim.Duration
 
+	// EvictFactor, when >= 1, arms the straggler-aware membership
+	// policy: the root tracks each member's iteration-completion EWMA
+	// and evicts a rank whose EWMA exceeds EvictFactor times the
+	// member median for EvictWindow consecutive iterations. The
+	// evicted rank is readmitted through the join path once a recover
+	// event restores it. Zero leaves the policy off (the grow plane
+	// stays armed for scripted join/evict events regardless).
+	EvictFactor float64
+	// EvictWindow is the number of consecutive over-threshold
+	// iterations before an eviction fires (default 3).
+	EvictWindow int
+	// JoinRetries caps admission-wait deadlines per announce before a
+	// joiner withdraws, cools down, and re-queues (default
+	// fault.DefaultJoinRetries).
+	JoinRetries int
+
 	// Integrity arms the silent-data-corruption plane: per-chunk
 	// checksums on collective receives and broadcast edges, plus (in
 	// real mode) the root's numeric-health watchdog with micro-
@@ -284,6 +300,16 @@ func (c *Config) validate() error {
 		case SCB, SCOB, SCOBR, SCOBRF, CNTKLike:
 		default:
 			return fmt.Errorf("core: fault injection supports the MPI data-parallel designs only, not %s", c.Design)
+		}
+	}
+	if c.EvictFactor != 0 {
+		if c.EvictFactor < 1 {
+			return fmt.Errorf("core: eviction factor must be >= 1 (multiples of the median iteration EWMA), got %g", c.EvictFactor)
+		}
+		switch c.Design {
+		case SCB, SCOB, SCOBR, SCOBRF, CNTKLike:
+		default:
+			return fmt.Errorf("core: the straggler-eviction policy supports the MPI data-parallel designs only, not %s", c.Design)
 		}
 	}
 	switch c.Integrity {
@@ -381,6 +407,10 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("core: divergence factor must be positive, got %g", c.DivergeFactor)
 	case c.SimParallel < 0:
 		return fmt.Errorf("core: simulation worker count must be non-negative (0 = auto, 1 = sequential), got %d", c.SimParallel)
+	case c.EvictWindow < 0:
+		return fmt.Errorf("core: eviction window must be positive, got %d", c.EvictWindow)
+	case c.JoinRetries < 0:
+		return fmt.Errorf("core: join retry budget must be positive, got %d", c.JoinRetries)
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 2
@@ -402,6 +432,12 @@ func (c *Config) normalize() error {
 	}
 	if c.Design == SCOBRF && c.BucketBytes == 0 {
 		c.BucketBytes = 4 << 20
+	}
+	if c.EvictFactor > 0 && c.EvictWindow == 0 {
+		c.EvictWindow = 3
+	}
+	if c.JoinRetries == 0 {
+		c.JoinRetries = fault.DefaultJoinRetries
 	}
 	return nil
 }

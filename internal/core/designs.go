@@ -414,6 +414,7 @@ func (st *runState) addUpdate(g *sched.Graph, w *workload, workers int) {
 		}
 		st.maybeEvaluate(x.R, w, x.It)
 		st.noteCompleted(x.It)
+		st.membershipTick(x.R)
 	})
 }
 
@@ -440,6 +441,7 @@ func (st *runState) addLocalUpdate(g *sched.Graph, r *mpi.Rank, w *workload) {
 			st.maybeEvaluate(x.R, w, x.It)
 		}
 		st.noteCompleted(x.It)
+		st.membershipTick(x.R)
 	})
 }
 

@@ -22,6 +22,8 @@ const (
 	tagPackedReduce = 100
 	tagLayerReduce  = 1000 // + 2*layer
 	tagPS           = 50
+	tagJoinAck      = 60 // join handshake: admitted rank -> root
+	tagCatchup      = 61 // catch-up broadcast of params + momentum
 )
 
 // runState is the shared state of one Run: everything the per-rank
@@ -67,6 +69,19 @@ type runState struct {
 	lastGoodIter int
 	epoch        int // recovery epochs, for reader proc naming
 	recSeen      int // fault.Recovery records already processed
+
+	// Elastic-membership state (see recovery.go). growEpoch is the
+	// epoch whose rebuild admitted joiners (-1 = none yet);
+	// catchupSeen[rank] is the last epoch rank completed the catch-up
+	// protocol for. iterEWMA/slowStreak feed the straggler-eviction
+	// policy; ewmaScratch is its preallocated median buffer.
+	growEpoch    int
+	lastAdmitted []int
+	catchupSeen  []int
+	catchupHist  []float32 // root momentum packed for the catch-up bcast
+	iterEWMA     []float64
+	slowStreak   []int
+	ewmaScratch  []float64
 
 	// Integrity state (nil/zero when the plane is off; see
 	// integrity.go).
@@ -140,12 +155,18 @@ func run(cfg Config) (*Result, *runState, error) {
 	st.world = mpi.NewWorld(cluster, cfg.GPUs)
 	st.comm = st.world.WorldComm()
 	var pl *fault.Plane
-	if len(cfg.Faults) > 0 || cfg.Integrity != IntegrityOff {
+	if len(cfg.Faults) > 0 || cfg.Integrity != IntegrityOff || cfg.EvictFactor > 0 {
 		pl = fault.NewPlane(k, cfg.GPUs, cfg.FaultTimeout)
+		pl.SetJoinRetries(cfg.JoinRetries)
 		st.ft = pl
 		st.world.Fault = pl
 		st.ranksLive = cfg.GPUs
 		st.lastGoodIter = cfg.StartIteration - 1
+		st.growEpoch = -1
+		st.catchupSeen = make([]int, cfg.GPUs)
+		st.iterEWMA = make([]float64, cfg.GPUs)
+		st.slowStreak = make([]int, cfg.GPUs)
+		st.ewmaScratch = make([]float64, 0, cfg.GPUs)
 		cluster.SetLinkFault(pl.LinkFactor)
 	}
 	// Conservative parallel lookahead (DESIGN.md §13): fault-free MPI

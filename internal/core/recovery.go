@@ -7,8 +7,10 @@ import (
 	"scaffe/internal/coll"
 	"scaffe/internal/data"
 	"scaffe/internal/fault"
+	"scaffe/internal/gpu"
 	"scaffe/internal/mpi"
 	"scaffe/internal/sim"
+	"scaffe/internal/topology"
 )
 
 // This file is the engine's side of elastic fault tolerance: the
@@ -69,6 +71,18 @@ func (a *applier) FlipBit(rank, word, bit int) {
 	}
 }
 
+// ReviveRank implements fault.Joiner: give a previously excluded rank
+// a fresh main proc that announces itself at the join desk, waits for
+// admission, and — once a grow round commits — runs the catch-up
+// protocol and rejoins training.
+func (a *applier) ReviveRank(rank int) {
+	st := a.st
+	st.ranksLive++
+	st.world.RespawnRank(rank, func(r *mpi.Rank) {
+		st.runJoined(r)
+	})
+}
+
 // stalledSource wraps a rank's data source with the plane's
 // reader-stall windows: a read issued during a stall waits the window
 // out, then proceeds at the backend's normal cost.
@@ -102,9 +116,44 @@ func (st *runState) noteCompleted(it int) {
 // world's restart point.
 func (st *runState) runRankFT(r *mpi.Rank, sink *nodeSink) {
 	defer st.rankDone(r.ID)
+	st.ftLoop(r, sink, st.cfg.StartIteration)
+}
+
+// runJoined is the main function of a revived rank: wait at the join
+// desk until a grow round admits it, then train like any other member.
+// AwaitAdmission returns false only when nobody is left to admit the
+// joiner (training already ended), in which case the proc just exits.
+func (st *runState) runJoined(r *mpi.Rank) {
+	defer st.rankDone(r.ID)
+	if !st.ft.AwaitAdmission(r.ID, r.Proc) {
+		return
+	}
+	sink := &nodeSink{st: st, rank: r.ID, ph: &st.phases[r.ID]}
+	st.ftLoop(r, sink, st.restartIter)
+}
+
+// ftLoop is the shared fault-tolerant training loop of original and
+// readmitted ranks. The grow-epoch catch-up check runs before the
+// termination test on purpose: a survivor released with a restart
+// iteration at or past the end must still serve the catch-up protocol,
+// or the joiner's collectives would wait on members that already left.
+func (st *runState) ftLoop(r *mpi.Rank, sink *nodeSink, it int) {
 	cfg := st.cfg
-	for it := cfg.StartIteration; it < cfg.Iterations; {
+	for {
+		if st.catchupPending(r.ID) {
+			if !st.tryCatchup(r) {
+				st.ft.EnterRecovery(r.ID, r.Proc)
+				it = st.restartIter
+				continue
+			}
+		}
+		if it >= cfg.Iterations {
+			return
+		}
+		ph := &st.phases[r.ID]
+		before := ph.Forward + ph.Backward
 		if st.tryIteration(r, sink, it) {
+			st.noteIterTime(r.ID, ph.Forward+ph.Backward-before)
 			it++
 			continue
 		}
@@ -114,6 +163,164 @@ func (st *runState) runRankFT(r *mpi.Rank, sink *nodeSink) {
 		st.ft.EnterRecovery(r.ID, r.Proc)
 		it = st.restartIter
 	}
+}
+
+// catchupPending reports whether rank still owes the current epoch's
+// catch-up protocol: the last rebuild admitted joiners (growEpoch) and
+// this rank has not run the protocol for that epoch yet.
+func (st *runState) catchupPending(rank int) bool {
+	return st.growEpoch == st.epoch && st.catchupSeen[rank] != st.epoch
+}
+
+// tryCatchup runs one member's side of the catch-up protocol after a
+// grow round: the post-admission handshake (each admitted rank Isends
+// an ack to the root), then a tree broadcast of the root's current
+// parameters and momentum — checksummed end to end when the integrity
+// plane is armed — and a closing barrier so no member resumes training
+// while a joiner is still receiving. State equality is already
+// guaranteed by rebuild's snapshot rollback (every member, joiners
+// included, restored the same snapshot); the broadcast carries the wire
+// cost and integrity coverage of shipping params+momentum to the
+// joiners, and the explicit copy below keeps real-mode members defined
+// by the root even if the restore paths ever diverge. A revocation
+// mid-protocol (join under fire) unwinds into a false return; the
+// caller re-enters recovery.
+func (st *runState) tryCatchup(r *mpi.Rank) (ok bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if mpi.IsRevoked(rec) {
+				ok = false
+				return
+			}
+			panic(rec)
+		}
+	}()
+	span := st.cfg.Trace.Begin(r.ID, "catchup", "", r.Now())
+	w := st.wl[r.ID]
+	root := st.isRoot(r)
+	if root {
+		for _, id := range st.lastAdmitted {
+			r.Wait(r.IjoinAckRecv(st.comm, st.comm.GroupRank(id), tagJoinAck, gpu.NewBuffer(8)))
+		}
+		if w.real() {
+			w.packParams()
+			st.catchupHist = st.sgds[r.ID].PackHistory(w.net, st.catchupHist)
+		}
+	} else if intsContain(st.lastAdmitted, r.ID) {
+		r.Wait(r.IjoinAck(st.comm, tagJoinAck, gpu.NewBuffer(8)))
+	}
+	// Parameters + momentum in one payload, from the root's group rank 0
+	// down the binomial tree.
+	r.Bcast(st.comm, 0, gpu.NewBuffer(2*w.packedParams.Bytes), topology.ModeAuto)
+	if w.real() && !root {
+		rw := st.wl[st.rootRank()]
+		w.net.UnpackParams(rw.paramData)
+		st.sgds[r.ID].Reset()
+		if len(st.catchupHist) > 0 {
+			st.sgds[r.ID].LoadHistory(w.net, st.catchupHist)
+		}
+	}
+	// No member trains on the grown world until every member finished
+	// catching up (the root must not repack parameters mid-replay).
+	st.comm.Barrier(r)
+	st.catchupSeen[r.ID] = st.epoch
+	span.End(r.Now())
+	return true
+}
+
+// noteIterTime folds one completed iteration's compute time (forward +
+// backward) into the rank's EWMA — the straggler policy's signal. Wall
+// time is useless here: collectives synchronize the members, so a
+// straggler inflates everyone's iteration latency but only its own
+// compute time.
+func (st *runState) noteIterTime(rank int, d sim.Duration) {
+	if st.iterEWMA == nil {
+		return
+	}
+	v := float64(d)
+	if e := st.iterEWMA[rank]; e != 0 {
+		v = e + ewmaAlpha*(v-e)
+	}
+	st.iterEWMA[rank] = v
+}
+
+// ewmaAlpha is the smoothing factor of the per-rank compute EWMA.
+const ewmaAlpha = 0.25
+
+// membershipTick is the root's per-iteration membership duty, run from
+// the post-update node: apply the straggler-eviction policy, then open
+// the admit window for any announced joiners. Both act only between
+// rounds (never while a revocation is converging), keeping admission
+// at clean iteration boundaries.
+func (st *runState) membershipTick(r *mpi.Rank) {
+	pl := st.ft
+	if pl == nil || !st.isRoot(r) || pl.Revoked() {
+		return
+	}
+	if f := st.cfg.EvictFactor; f > 0 && st.comm.Size() > 1 {
+		st.evictStraggler(f)
+	}
+	if pl.JoinPending() && !pl.Revoked() {
+		pl.BeginGrow()
+	}
+}
+
+// evictStraggler evicts at most one rank per tick: the slowest member
+// whose compute EWMA has exceeded EvictFactor times the member median
+// for EvictWindow consecutive iterations. The root never evicts
+// itself, and members without a seeded EWMA yet (fresh joiners) are
+// exempt. Allocation-free: the scratch slice is preallocated and the
+// median uses an insertion sort.
+func (st *runState) evictStraggler(factor float64) {
+	s := st.ewmaScratch[:0]
+	n := st.comm.Size()
+	for g := 0; g < n; g++ {
+		if e := st.iterEWMA[st.comm.WorldRank(g)]; e > 0 {
+			s = append(s, e)
+		}
+	}
+	st.ewmaScratch = s
+	if len(s) < 2 {
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	med := s[len(s)/2]
+	rootID := st.rootRank()
+	worst, worstEWMA := -1, 0.0
+	for g := 0; g < n; g++ {
+		id := st.comm.WorldRank(g)
+		e := st.iterEWMA[id]
+		if id == rootID || e == 0 {
+			continue
+		}
+		if e > factor*med {
+			st.slowStreak[id]++
+			if st.slowStreak[id] >= st.cfg.EvictWindow && e > worstEWMA {
+				worst, worstEWMA = id, e
+			}
+		} else {
+			st.slowStreak[id] = 0
+		}
+	}
+	if worst >= 0 {
+		st.slowStreak[worst] = 0
+		st.iterEWMA[worst] = 0
+		st.ft.EvictRank(worst)
+	}
+}
+
+// intsContain reports whether s contains v (tiny membership lists).
+func intsContain(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // tryIteration runs one iteration graph, converting a revocation
@@ -168,6 +375,8 @@ func (st *runState) rebuild() int {
 	}
 
 	alive := pl.AliveRanks()
+	admitted := pl.Admitted()
+	grew := len(admitted) > 0
 
 	// Fail-stop any helper lanes still unwinding from the revoked
 	// iteration; the resumed main lanes spawn fresh ones.
@@ -175,9 +384,13 @@ func (st *runState) rebuild() int {
 		st.world.Ranks[id].KillThreads()
 	}
 
-	// Shrink: a fresh communicator over the survivors. Its new id
-	// guarantees stale traffic from the failed epoch never matches.
-	st.comm = st.world.ShrinkComm(alive)
+	// Shrink (or grow): a fresh communicator over the members. Its new
+	// id guarantees stale traffic from the failed epoch never matches.
+	if grew {
+		st.comm = st.world.GrowComm(alive)
+	} else {
+		st.comm = st.world.ShrinkComm(alive)
+	}
 	opts := cfg.ReduceOpts
 	if opts == (coll.Options{}) {
 		opts = coll.DefaultOptions()
@@ -248,6 +461,18 @@ func (st *runState) rebuild() int {
 
 	// Restart the surviving data plane at the new batch size.
 	st.epoch++
+	if grew {
+		// Flag this epoch for the catch-up protocol: every member —
+		// joiners included — runs it before its first iteration on the
+		// grown world (see tryCatchup). Fresh members start the straggler
+		// policy with an unseeded EWMA.
+		st.growEpoch = st.epoch
+		st.lastAdmitted = append(st.lastAdmitted[:0], admitted...)
+		for _, id := range admitted {
+			st.iterEWMA[id] = 0
+			st.slowStreak[id] = 0
+		}
+	}
 	for _, id := range alive {
 		if rd := st.readers[id]; rd != nil {
 			rd.Stop()
@@ -273,6 +498,9 @@ func (st *runState) rebuild() int {
 			st.cfg.Trace.Add(id, "recovery", detect, st.k.Now())
 		}
 		st.recSeen = n
+	}
+	for _, id := range admitted {
+		st.cfg.Trace.Add(id, "join", pl.AnnouncedAt(id), st.k.Now())
 	}
 
 	st.restartIter = restart

@@ -116,6 +116,7 @@ func All() []Runner {
 		{"accuracy", "Real-compute training equivalence (the §6.2 accuracy validation)", Accuracy},
 		{"faults", "Extension: MTBF × snapshot-interval sweep of elastic fault tolerance", Faults},
 		{"sdc", "Extension: silent-data-corruption detection and recovery drill", SDC},
+		{"elastic", "Extension: churn × snapshot-interval sweep of elastic scale-up vs static shrink", Elastic},
 	}
 }
 

@@ -52,6 +52,16 @@ const (
 	// checksum verification detects and (in recover mode) retransmits
 	// it.
 	CorruptWire
+	// Join readmits a previously excluded rank: the rank announces
+	// itself to the membership desk and the root admits it at the next
+	// iteration boundary through the elastic grow path. A Join
+	// targeting a rank that is still alive is a no-op.
+	Join
+	// Evict proactively removes a rank from the world through the
+	// shrink path — a controlled, instantly detected departure rather
+	// than a failure. The straggler policy issues the same eviction
+	// autonomously.
+	Evict
 )
 
 func (k Kind) String() string {
@@ -74,6 +84,10 @@ func (k Kind) String() string {
 		return "bitflip"
 	case CorruptWire:
 		return "corrupt-wire"
+	case Join:
+		return "join"
+	case Evict:
+		return "evict"
 	}
 	return "unknown"
 }
@@ -117,7 +131,7 @@ func (s Schedule) Validate(ranks, nodes int) error {
 			return fmt.Errorf("fault: event %d: negative time %v", i, ev.At)
 		}
 		switch ev.Kind {
-		case Crash, Hang, StragglerOn, StragglerOff, ReaderStall, BitFlip:
+		case Crash, Hang, StragglerOn, StragglerOff, ReaderStall, BitFlip, Join, Evict:
 			if ev.Rank < 0 || ev.Rank >= ranks {
 				return fmt.Errorf("fault: event %d: rank %d out of range [0,%d)", i, ev.Rank, ranks)
 			}
@@ -179,6 +193,8 @@ func (s Schedule) Validate(ranks, nodes int) error {
 //	200ms snapfail for=50ms
 //	90ms  bitflip rank=1 word=1024 bit=30
 //	70ms  corrupt-wire src=3 dst=0 n=2
+//	150ms evict rank=2
+//	250ms join rank=3
 //
 // Times and windows accept s/ms/us/ns suffixes (a bare number is
 // nanoseconds). Two rank-targeted events landing on the same rank at
@@ -221,6 +237,10 @@ func ParseSchedule(text string) (Schedule, error) {
 			ev.Kind = BitFlip
 		case "corrupt-wire":
 			ev.Kind = CorruptWire
+		case "join":
+			ev.Kind = Join
+		case "evict":
+			ev.Kind = Evict
 		default:
 			return nil, fmt.Errorf("fault: line %d: unknown event kind %q", ln+1, fields[1])
 		}
@@ -283,7 +303,7 @@ func ParseSchedule(text string) (Schedule, error) {
 
 func needsRank(k Kind) bool {
 	switch k {
-	case Crash, Hang, StragglerOn, StragglerOff, ReaderStall, BitFlip:
+	case Crash, Hang, StragglerOn, StragglerOff, ReaderStall, BitFlip, Join, Evict:
 		return true
 	}
 	return false

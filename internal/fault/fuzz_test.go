@@ -1,0 +1,46 @@
+package fault
+
+import "testing"
+
+// FuzzParseSchedule hammers the schedule grammar: arbitrary text must
+// either parse into a schedule whose every event survives String and
+// Validate without panicking, or be rejected with an error — never
+// crash, never loop.
+func FuzzParseSchedule(f *testing.F) {
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"5ms crash rank=3",
+		"10ms straggle rank=1 factor=4\n12ms recover rank=1",
+		"20ms degrade node=0 factor=2.5 for=3ms",
+		"30ms stall rank=2 for=1ms",
+		"40ms snapfail for=2ms",
+		"50ms hang rank=0",
+		"60ms bitflip rank=1 word=128 bit=30",
+		"70ms corrupt-wire src=3 dst=0 n=2",
+		"150ms evict rank=2",
+		"250ms join rank=3",
+		"5ms evict rank=2\n10ms recover rank=2\n20ms join rank=2",
+		"5ms join rank=2\n5ms evict rank=2",
+		"1ms join",
+		"1ms evict rank=-1",
+		"abc join rank=0",
+		"1ms join rank=0 factor=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		sched, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		_ = sched.Validate(8, 2)
+		for _, ev := range sched {
+			_ = ev.Kind.String()
+			if ev.At < 0 {
+				t.Fatalf("parsed negative time: %+v", ev)
+			}
+		}
+	})
+}

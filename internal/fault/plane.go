@@ -18,6 +18,13 @@ const DefaultTimeout = 10 * sim.Millisecond
 // flaps) is ridden out with a bounded number of retries per window.
 const maxBackoffShift = 4
 
+// DefaultJoinRetries is the admission-wait budget of one announce: a
+// joiner that rides out this many capped-backoff deadlines without
+// being admitted withdraws, cools down, and re-announces (it is
+// re-queued, never admitted mid-round and never able to wedge
+// training).
+const DefaultJoinRetries = 6
+
 // Applier carries out the physical side of injected events on the
 // training engine: killing a rank's procs and slowing its device. The
 // plane keeps the bookkeeping; the engine owns the objects.
@@ -34,6 +41,14 @@ type Applier interface {
 // corruption (the event still counts as injected).
 type BitFlipper interface {
 	FlipBit(rank, word, bit int)
+}
+
+// Joiner is the optional Applier extension for the elastic grow path:
+// ReviveRank gives a previously excluded rank a fresh process that
+// announces itself and waits for admission (AwaitAdmission). Appliers
+// that do not implement it leave Join events inert.
+type Joiner interface {
+	ReviveRank(rank int)
 }
 
 // Recovery describes one detected failure and the shrink that
@@ -66,6 +81,29 @@ func (r Recovery) DetectionLatency() sim.Duration { return r.DetectedAt - r.Fail
 // RecoveryTime is the revocation-to-resume delay (shrink + restore).
 func (r Recovery) RecoveryTime() sim.Duration { return r.ResumedAt - r.DetectedAt }
 
+// JoinRecord describes one admission through the elastic grow path.
+type JoinRecord struct {
+	// Rank is the readmitted rank.
+	Rank int
+	// AnnouncedAt is when the joiner first announced itself.
+	AnnouncedAt sim.Time
+	// AdmittedAt is when a grow round committed the admission.
+	AdmittedAt sim.Time
+	// Attempts counts admission-wait deadlines the joiner rode out
+	// (capped exponential backoff) before being admitted.
+	Attempts int
+	// Requeues counts exhausted retry budgets: each one withdrew the
+	// announce, cooled down, and re-queued it.
+	Requeues int
+	// RestartIter is the iteration the grown world resumed from.
+	RestartIter int
+	// WorldSize is the world size after the grow.
+	WorldSize int
+}
+
+// AdmissionLatency is the announce-to-admission delay.
+func (j JoinRecord) AdmissionLatency() sim.Duration { return j.AdmittedAt - j.AnnouncedAt }
+
 // Report summarizes a faulted run for Result.
 type Report struct {
 	// Injected counts all scheduled events that fired.
@@ -81,15 +119,23 @@ type Report struct {
 	// BitFlips and WireCorruptions count armed silent-corruption
 	// injections (the integrity plane reports what it caught).
 	BitFlips, WireCorruptions int
-	// Survivors is the final world size.
+	// Evictions counts ranks removed through the proactive evict path
+	// (scripted Evict events plus the straggler policy).
+	Evictions int
+	// Survivors is the final world size (shrinks and grows included).
 	Survivors int
 	// Recoveries lists every shrink, in order.
 	Recoveries []Recovery
+	// Joins lists every admission through the grow path, in order.
+	Joins []JoinRecord
+	// JoinRequeues counts exhausted admission-retry budgets across all
+	// joiners (each one re-queued the announce after a cool-down).
+	JoinRequeues int
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("injected=%d crashes=%d hangs=%d recoveries=%d retries=%d snapshot-failures=%d survivors=%d",
-		r.Injected, r.Crashes, r.Hangs, len(r.Recoveries), r.Retries, r.SnapshotFailures, r.Survivors)
+	return fmt.Sprintf("injected=%d crashes=%d hangs=%d evictions=%d recoveries=%d joins=%d retries=%d snapshot-failures=%d survivors=%d",
+		r.Injected, r.Crashes, r.Hangs, r.Evictions, len(r.Recoveries), len(r.Joins), r.Retries, r.SnapshotFailures, r.Survivors)
 }
 
 // recoveryRound is one leaderless all-survivor rendezvous: every
@@ -137,6 +183,24 @@ type Plane struct {
 
 	round *recoveryRound
 
+	// The join desk. pending holds announced ranks waiting for a grow
+	// round; admitting holds the pending set locked in by BeginGrow (a
+	// locked joiner can no longer withdraw — its admission commits with
+	// the round). joining marks ranks with a live joiner proc; evicted
+	// marks ranks removed by the evict path (a later recover event
+	// readmits them); rejoinQueued defers a join that arrived while the
+	// rank was failed-but-not-yet-excluded. admitted is the last
+	// committed round's admissions, for the rebuild hook.
+	pending      []int
+	admitting    []int
+	joining      []bool
+	evicted      []bool
+	rejoinQueued []bool
+	joinRec      []JoinRecord // partial record per joining rank
+	admitted     []int
+	admitDone    *sim.Completion
+	joinBudget   int
+
 	stallUntil    []sim.Time
 	links         []linkWindow
 	snapFailUntil sim.Time
@@ -153,14 +217,27 @@ func NewPlane(k *sim.Kernel, ranks int, quantum sim.Duration) *Plane {
 		quantum = DefaultTimeout
 	}
 	return &Plane{
-		k:          k,
-		quantum:    quantum,
-		total:      ranks,
-		excluded:   make([]bool, ranks),
-		failed:     make([]bool, ranks),
-		departed:   make([]bool, ranks),
-		failRec:    make([]Recovery, ranks),
-		stallUntil: make([]sim.Time, ranks),
+		k:            k,
+		quantum:      quantum,
+		total:        ranks,
+		excluded:     make([]bool, ranks),
+		failed:       make([]bool, ranks),
+		departed:     make([]bool, ranks),
+		failRec:      make([]Recovery, ranks),
+		stallUntil:   make([]sim.Time, ranks),
+		joining:      make([]bool, ranks),
+		evicted:      make([]bool, ranks),
+		rejoinQueued: make([]bool, ranks),
+		joinRec:      make([]JoinRecord, ranks),
+		joinBudget:   DefaultJoinRetries,
+	}
+}
+
+// SetJoinRetries overrides the per-announce admission-wait budget
+// (zero or negative keeps DefaultJoinRetries).
+func (pl *Plane) SetJoinRetries(n int) {
+	if n > 0 {
+		pl.joinBudget = n
 	}
 }
 
@@ -212,6 +289,21 @@ func (pl *Plane) apply(ev Event) {
 	case StragglerOff:
 		pl.report.Injected++
 		pl.applier.SetCompute(ev.Rank, 1)
+		// A recovered rank that the evict path removed is readmitted
+		// through the join path: the recover event is the self-healing
+		// loop's re-entry point.
+		if pl.evicted[ev.Rank] {
+			pl.startJoin(ev.Rank)
+		}
+	case Evict:
+		if !pl.Alive(ev.Rank) {
+			return // already out; nothing to evict
+		}
+		pl.report.Injected++
+		pl.evict(ev.Rank)
+	case Join:
+		pl.report.Injected++
+		pl.startJoin(ev.Rank)
 	case LinkDegrade:
 		pl.report.Injected++
 		pl.links = append(pl.links, linkWindow{node: ev.Node, factor: ev.Factor, from: now, until: now + ev.For})
@@ -260,6 +352,156 @@ func (pl *Plane) WireCorrupt(src, dst int) bool {
 		}
 	}
 	return hit
+}
+
+// evict removes an alive rank through the shrink path: a controlled,
+// instantly detected departure. Unlike a crash, no deadline has to
+// expire for the revocation to be discovered — the evictor initiated
+// it, so detection stamps at the same instant.
+func (pl *Plane) evict(rank int) {
+	now := pl.k.Now()
+	pl.report.Evictions++
+	pl.failed[rank] = true
+	pl.evicted[rank] = true
+	pl.failRec[rank] = Recovery{Rank: rank, Kind: Evict, FailedAt: now, DetectedAt: now}
+	pl.applier.KillRank(rank, Evict)
+	pl.revoked = true
+	if pl.round != nil && pl.round.arrived[rank] {
+		pl.round.arrived[rank] = false
+		pl.round.count--
+	}
+	pl.checkRelease()
+}
+
+// EvictRank is the engine's straggler-policy entry point: proactively
+// remove an alive rank through the shrink path. A no-op when the rank
+// is not alive.
+func (pl *Plane) EvictRank(rank int) {
+	if !pl.Alive(rank) {
+		return
+	}
+	pl.evict(rank)
+}
+
+// startJoin revives an excluded rank's joiner process. A join landing
+// on a failed-but-not-yet-excluded rank is deferred until the round
+// that excludes it commits; alive or already-joining ranks are left
+// alone.
+func (pl *Plane) startJoin(rank int) {
+	if pl.failed[rank] {
+		pl.rejoinQueued[rank] = true
+		return
+	}
+	if !pl.excluded[rank] || pl.joining[rank] {
+		return
+	}
+	j, ok := pl.applier.(Joiner)
+	if !ok {
+		return
+	}
+	pl.joining[rank] = true
+	pl.departed[rank] = false
+	pl.joinRec[rank] = JoinRecord{Rank: rank, AnnouncedAt: pl.k.Now()}
+	j.ReviveRank(rank)
+}
+
+// announce registers rank at the join desk (idempotent) and returns
+// the completion the next committed grow round fires.
+func (pl *Plane) announce(rank int) *sim.Completion {
+	if pl.admitDone == nil {
+		pl.admitDone = pl.k.NewCompletion()
+	}
+	if !intsContain(pl.pending, rank) && !intsContain(pl.admitting, rank) {
+		pl.pending = append(pl.pending, rank)
+	}
+	return pl.admitDone
+}
+
+// withdraw removes rank's announce from the pending queue, reporting
+// whether it was withdrawable. Announces locked in by BeginGrow are
+// not — their admission commits with the round.
+func (pl *Plane) withdraw(rank int) bool {
+	if intsContain(pl.admitting, rank) {
+		return false
+	}
+	for i, r := range pl.pending {
+		if r == rank {
+			pl.pending = append(pl.pending[:i], pl.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// AwaitAdmission parks a revived rank's proc until a grow round admits
+// it, riding out busy admit windows with the same capped exponential
+// backoff as failure detection. A wait that exhausts its retry budget
+// withdraws the announce, cools down, and re-queues it — bounded
+// retries, graceful degradation, and it can never wedge training. It
+// reports false (giving up entirely) only when no participant is left
+// to admit the joiner.
+func (pl *Plane) AwaitAdmission(rank int, p *sim.Proc) bool {
+	rec := &pl.joinRec[rank]
+	attempt := 0
+	for {
+		c := pl.announce(rank)
+		rec.Attempts++
+		if p.WaitTimeout(c, pl.Timeout(attempt)) {
+			return true
+		}
+		if pl.participants() == 0 {
+			pl.abandonJoin(rank)
+			return false
+		}
+		attempt++
+		if attempt >= pl.joinBudget && pl.withdraw(rank) {
+			rec.Requeues++
+			pl.report.JoinRequeues++
+			attempt = 0
+			p.Sleep(pl.Timeout(maxBackoffShift))
+		}
+	}
+}
+
+// abandonJoin cancels a joiner that found nobody left to admit it.
+func (pl *Plane) abandonJoin(rank int) {
+	pl.withdraw(rank)
+	pl.joining[rank] = false
+}
+
+// JoinPending reports whether any announced joiner is waiting for an
+// admit window.
+func (pl *Plane) JoinPending() bool { return len(pl.pending) > 0 }
+
+// BeginGrow opens the admit window at an iteration boundary: pending
+// announces lock in (no longer withdrawable) and the communicator is
+// revoked so every member unwinds into the grow round's rendezvous.
+// The root calls it; a no-op while nothing is pending or a round is
+// already converging.
+func (pl *Plane) BeginGrow() {
+	if len(pl.pending) == 0 || pl.revoked {
+		return
+	}
+	pl.admitting = append(pl.admitting, pl.pending...)
+	pl.pending = pl.pending[:0]
+	pl.revoked = true
+}
+
+// Admitted returns the ranks the committing round admitted; valid
+// inside the rebuild hook (the slice is reused across rounds).
+func (pl *Plane) Admitted() []int { return pl.admitted }
+
+// AnnouncedAt returns the announce time of rank's current join record
+// (valid inside the rebuild hook for admitted ranks).
+func (pl *Plane) AnnouncedAt(rank int) sim.Time { return pl.joinRec[rank].AnnouncedAt }
+
+func intsContain(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // Revoke revokes the communicator without a dead rank behind it — the
@@ -328,10 +570,11 @@ func (pl *Plane) EnterRecovery(rank int, p *sim.Proc) {
 }
 
 // checkRelease releases the current recovery round once every alive
-// rank has arrived: it commits the shrink (failed → excluded, clears
-// the revocation), runs the engine's rebuild hook, stamps the new
-// recovery records, and wakes the survivors. Safe to call any time;
-// it is a no-op until the round is complete.
+// rank has arrived: it commits the membership change (failed →
+// excluded, announced joiners → members, clears the revocation), runs
+// the engine's rebuild hook, stamps the new recovery and join records,
+// and wakes everyone — survivors and admitted joiners together. Safe
+// to call any time; it is a no-op until the round is complete.
 func (pl *Plane) checkRelease() {
 	rd := pl.round
 	if rd == nil || rd.count == 0 || rd.count != pl.participants() {
@@ -353,6 +596,16 @@ func (pl *Plane) checkRelease() {
 		rec.ResumedAt = now
 		pl.report.Recoveries = append(pl.report.Recoveries, rec)
 	}
+	// Admit every announced joiner: excluded → member. Admissions ride
+	// whatever round commits first — the grow round the root opened, or
+	// a shrink round that happened to converge in the same admit window
+	// (a join under fire).
+	pl.admitted = pl.admitted[:0]
+	pl.takeJoins(pl.admitting)
+	pl.takeJoins(pl.pending)
+	pl.admitting = pl.admitting[:0]
+	pl.pending = pl.pending[:0]
+	sortInts(pl.admitted)
 	pl.revoked = false
 	pl.report.Survivors = pl.AliveCount()
 	restart := 0
@@ -363,7 +616,52 @@ func (pl *Plane) checkRelease() {
 		pl.report.Recoveries[i].RestartIter = restart
 		pl.report.Recoveries[i].Survivors = pl.report.Survivors
 	}
+	for _, r := range pl.admitted {
+		rec := pl.joinRec[r]
+		rec.AdmittedAt = now
+		rec.RestartIter = restart
+		rec.WorldSize = pl.report.Survivors
+		pl.report.Joins = append(pl.report.Joins, rec)
+	}
+	if len(pl.admitted) > 0 && pl.admitDone != nil {
+		done := pl.admitDone
+		pl.admitDone = nil // the next announce gets a fresh round
+		done.Fire()
+	}
+	// Joins that arrived while their rank was still failed start now
+	// that the round excluded it (a recover event racing an eviction).
+	for i := range pl.rejoinQueued {
+		if pl.rejoinQueued[i] && pl.excluded[i] {
+			pl.rejoinQueued[i] = false
+			pl.startJoin(i)
+		}
+	}
 	rd.done.Fire()
+}
+
+// takeJoins admits the announced ranks in list (skipping any that are
+// no longer excluded) into pl.admitted.
+func (pl *Plane) takeJoins(list []int) {
+	for _, r := range list {
+		if !pl.excluded[r] {
+			continue
+		}
+		pl.excluded[r] = false
+		pl.joining[r] = false
+		pl.evicted[r] = false
+		pl.departed[r] = false
+		pl.admitted = append(pl.admitted, r)
+	}
+}
+
+// sortInts is an allocation-free insertion sort for the tiny admitted
+// slice (a handful of ranks at most).
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // NoteRollback marks the latest batch of recovery records as having

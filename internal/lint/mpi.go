@@ -63,7 +63,7 @@ func runMPI(pkg *Pkg, report func(pos token.Pos, msg string)) {
 func requestCreator(pkg *Pkg, call *ast.CallExpr) string {
 	fn := calleeFunc(pkg, call)
 	switch {
-	case funcFrom(fn, "scaffe/internal/mpi", "Isend", "Irecv", "Ibcast", "NewDeferredRequest"):
+	case funcFrom(fn, "scaffe/internal/mpi", "Isend", "Irecv", "Ibcast", "NewDeferredRequest", "IjoinAck", "IjoinAckRecv"):
 		return "mpi." + fn.Name()
 	case funcFrom(fn, "scaffe/internal/coll", "Ireduce"):
 		return "coll.Ireduce"

@@ -1,6 +1,10 @@
 package mpi
 
-import "scaffe/internal/sim"
+import (
+	"scaffe/internal/gpu"
+	"scaffe/internal/sim"
+	"scaffe/internal/topology"
+)
 
 // ULFM-style fault tolerance: when the world carries a fault plane
 // (World.Fault non-nil), every blocking wait runs in deadline slices.
@@ -84,4 +88,29 @@ func (r *Rank) KillAll() {
 // revoked comm can never match against it.
 func (w *World) ShrinkComm(alive []int) *Comm {
 	return w.newComm(append([]int(nil), alive...))
+}
+
+// GrowComm builds a fresh communicator over the given ascending world
+// ranks, including ranks readmitted through the join path — the
+// grow-side counterpart of ShrinkComm. The fresh id guarantees that
+// traffic from any earlier epoch, including a member's pre-failure
+// life, can never match against the grown communicator.
+func (w *World) GrowComm(members []int) *Comm {
+	return w.newComm(append([]int(nil), members...))
+}
+
+// IjoinAck is the joining rank's half of the post-admission handshake:
+// a non-blocking send of its greeting to the root of the grown
+// communicator, confirming the joiner reached the new epoch before the
+// catch-up broadcast starts. Like every non-blocking operation the
+// returned request must reach Wait.
+func (r *Rank) IjoinAck(c *Comm, tag int, buf *gpu.Buffer) *Request {
+	return r.Isend(c, 0, tag, buf, topology.ModeAuto)
+}
+
+// IjoinAckRecv is the root's half of the post-admission handshake: the
+// matching non-blocking receive for one admitted rank's IjoinAck. The
+// returned request must reach Wait.
+func (r *Rank) IjoinAckRecv(c *Comm, from, tag int, buf *gpu.Buffer) *Request {
+	return r.Irecv(c, from, tag, buf)
 }

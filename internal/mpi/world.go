@@ -103,6 +103,23 @@ func (w *World) Spawn(main func(r *Rank)) {
 	}
 }
 
+// RespawnRank gives a previously failed rank a fresh main proc running
+// main — the join path's counterpart of Spawn, callable while the
+// kernel runs. The rank's matching state from its previous life is
+// dropped (posted receives, unexpected sends, helper threads): a
+// respawned rank is only addressable through a communicator built
+// after it rejoined, so nothing stale can ever match.
+func (w *World) RespawnRank(id int, main func(r *Rank)) {
+	rank := w.Ranks[id]
+	rank.KillThreads()
+	rank.posted = make(map[matchKey]reqQueue)
+	rank.unexpected = make(map[matchKey]psQueue)
+	rank.lives++
+	rank.Proc = w.K.Spawn(fmt.Sprintf("rank%d.j%d", rank.ID, rank.lives), func(p *sim.Proc) {
+		main(rank)
+	})
+}
+
 // Run spawns all ranks on main and runs the simulation to completion,
 // returning the final virtual time.
 func (w *World) Run(main func(r *Rank)) (sim.Time, error) {
@@ -131,6 +148,10 @@ type Rank struct {
 	// threads tracks live helper procs so a crash (or recovery) can
 	// fail-stop the whole rank, not just its main thread.
 	threads []*sim.Proc
+
+	// lives counts RespawnRank rebirths, keeping respawned proc names
+	// unique for traces and diagnostics.
+	lives int
 }
 
 // Now returns the current virtual time.

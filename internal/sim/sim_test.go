@@ -409,6 +409,35 @@ func TestSpawnFromProc(t *testing.T) {
 	}
 }
 
+// TestSpawnFromEventCallback is the elastic join path's primitive: a
+// timed kernel event (not a proc) spawning a new proc mid-run, as
+// ReviveRank does when a scheduled join event fires.
+func TestSpawnFromEventCallback(t *testing.T) {
+	k := New()
+	var childAt, killedAt Time
+	k.Spawn("anchor", func(p *Proc) { p.Sleep(40) })
+	victim := k.Spawn("victim", func(p *Proc) {
+		defer func() { killedAt = p.Now() }()
+		p.Sleep(1000)
+	})
+	k.At(5, victim.Kill)
+	k.At(10, func() {
+		k.Spawn("respawned", func(p *Proc) {
+			p.Sleep(5)
+			childAt = p.Now()
+		})
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 15 {
+		t.Errorf("respawned proc finished at %v, want 15", childAt)
+	}
+	if killedAt != 5 {
+		t.Errorf("victim's deferred cleanup ran at %v, want 5 (kill must unwind defers)", killedAt)
+	}
+}
+
 func TestWaitAll(t *testing.T) {
 	k := New()
 	c1, c2 := k.NewCompletion(), k.NewCompletion()

@@ -156,6 +156,15 @@ type FaultReport = fault.Report
 // FaultRecovery describes one detected failure and its recovery.
 type FaultRecovery = fault.Recovery
 
+// JoinRecord describes one rank admission through the elastic grow
+// path (Result.Fault.Joins).
+type JoinRecord = fault.JoinRecord
+
+// FaultEvict is the recovery kind of a proactive membership eviction
+// (scripted "evict" events and the straggler policy), as opposed to a
+// detected crash or hang.
+const FaultEvict = fault.Evict
+
 // IntegrityMode arms the silent-data-corruption plane (Config.Integrity):
 // checksummed collective transfers plus the root's numeric-health
 // watchdog with micro-rollback.

@@ -43,6 +43,19 @@ echo "== parallel-kernel race gate =="
 # watches the speculation, staging, and commit paths.
 go test -race -run 'Parallel' -count=1 ./internal/sim ./internal/mpi
 
+echo "== elastic churn drill =="
+# The elastic membership acceptance bar (DESIGN.md §14): the 32-rank
+# crash→recover→join run must produce an identical fault report and
+# total time at every GOMAXPROCS, and the catch-up replay must be
+# bit-exact against a golden run. Race-instrumented so the detector
+# watches the join desk and catch-up collectives under real
+# parallelism.
+for procs in 1 4 16; do
+    GOMAXPROCS=$procs go test -race -timeout 20m \
+        -run '^TestGoogLeNet32CrashRecoverJoinDeterministic$|^TestRealJoinAfterCrashBitExact$|^TestJoinUnderFire$' \
+        -count=1 ./internal/core
+done
+
 echo "== go test -race =="
 # Race instrumentation slows the simulator ~10x; the core package needs
 # more than the default 10-minute per-package budget.
@@ -55,5 +68,6 @@ echo "== fuzz smoke =="
 go test -run '^$' -fuzz FuzzSnapshotDecode -fuzztime 5s ./internal/core
 go test -run '^$' -fuzz FuzzParse -fuzztime 5s ./internal/proto
 go test -run '^$' -fuzz FuzzChunkChecksum -fuzztime 5s ./internal/mpi
+go test -run '^$' -fuzz FuzzParseSchedule -fuzztime 5s ./internal/fault
 
 echo "== OK =="
