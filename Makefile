@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet lint check
+.PHONY: all build test race bench fmt vet lint lint-escape check
 
 all: build
 
@@ -34,6 +34,13 @@ vet:
 # see internal/lint and DESIGN.md §10.
 lint:
 	$(GO) run ./cmd/scaffe-lint ./...
+
+# The compiler-verified escape gate: heap escapes inside propagated
+# //scaffe:hotpath functions, diffed against lint.baseline (DESIGN.md
+# §15). Regenerate the baseline with
+# `go run ./cmd/scaffe-lint -escape -write-baseline`.
+lint-escape:
+	$(GO) run ./cmd/scaffe-lint -escape ./...
 
 check:
 	sh scripts/check.sh

@@ -151,6 +151,8 @@ func NewReducer(c *mpi.Comm, alg Algorithm, o Options) Reducer {
 
 // newLike allocates a scratch buffer shaped like b (payload present
 // iff b has one).
+//
+//scaffe:coldpath pool-miss scratch creation; steady state draws from the rank's free stack
 func newLike(b *gpu.Buffer) *gpu.Buffer {
 	if b.Data != nil {
 		return gpu.NewDataBuffer(b.Elems())

@@ -29,6 +29,7 @@ func reduceScatterGather(c *mpi.Comm, r *mpi.Rank, buf *gpu.Buffer, tag int, o O
 	}
 	if size&(size-1) != 0 {
 		if fallback == nil {
+			//scaffe:coldpath transient fallback for the stateless one-shot entry; rsgReducer supplies a pooled fallback
 			fallback = &chainReducer{c: c, o: o}
 		}
 		fallback.Reduce(r, buf, tag)

@@ -89,6 +89,7 @@ func (cr *chainReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 			if lo >= hi {
 				continue
 			}
+			//scaffe:nolint hotpath request slice is pooled via takeReqs/storeReqs; append reuses high-water capacity
 			sreqs = append(sreqs, r.Isend(cr.c, me-1, tag, st.view(buf, lo, hi), cr.o.Mode))
 		}
 		r.WaitAll(sreqs...)
@@ -122,6 +123,7 @@ func (cr *chainReducer) Reduce(r *mpi.Rank, buf *gpu.Buffer, tag int) {
 			// in-flight forward below sends `mine` (a view of buf),
 			// never the scratch.
 			st.putScratch(scratch)
+			//scaffe:nolint hotpath request slice is pooled via takeReqs/storeReqs; append reuses high-water capacity
 			sreqs = append(sreqs, r.Isend(cr.c, me-1, tag, mine, cr.o.Mode))
 		}
 		r.WaitAll(sreqs...)

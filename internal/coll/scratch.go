@@ -49,6 +49,9 @@ type rankState struct {
 	sreqs   []*mpi.Request
 }
 
+// newRankState is acquire's first-call path for a rank.
+//
+//scaffe:coldpath first-call construction of a rank's reusable state; steady state reuses it
 func newRankState() *rankState {
 	return &rankState{
 		scratch: make(map[scratchKey][]*gpu.Buffer),
@@ -67,6 +70,7 @@ type stateTable struct {
 // state rather than corrupting in-flight scratch.
 func (t *stateTable) acquire(size, me int) *rankState {
 	if t.sts == nil {
+		//scaffe:nolint hotpath first-call table construction; steady state takes the filled-slot path
 		t.sts = make([]*rankState, size)
 	}
 	st := t.sts[me]
@@ -110,6 +114,7 @@ func (st *rankState) putScratch(b *gpu.Buffer) {
 		return
 	}
 	key := scratchKey{bytes: b.Bytes, payload: b.Data != nil}
+	//scaffe:nolint hotpath pool release; append reuses capacity freed by the matching getScratch
 	st.scratch[key] = append(st.scratch[key], b)
 }
 
@@ -120,12 +125,14 @@ func (st *rankState) putScratch(b *gpu.Buffer) {
 //scaffe:hotpath
 func (st *rankState) view(buf *gpu.Buffer, lo, hi int) *gpu.Buffer {
 	if st == nil {
+		//scaffe:coldpath stateless fallback allocates transiently by documented design
 		return buf.Slice(lo, hi)
 	}
 	key := viewKey{buf: buf, lo: lo, hi: hi}
 	if v := st.views[key]; v != nil {
 		return v
 	}
+	//scaffe:coldpath first-use view creation; the views cache serves every later call
 	v := buf.Slice(lo, hi)
 	st.views[key] = v
 	return v

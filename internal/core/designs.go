@@ -224,6 +224,8 @@ type labelTable struct {
 // use. First use happens during graph construction — either eagerly in
 // run() or on the cooperatively-scheduled rank procs — so no locking
 // is needed.
+//
+//scaffe:coldpath first-use label interning, cached in st.lbl; every later call returns the table
 func (st *runState) labels() *labelTable {
 	if st.lbl != nil {
 		return st.lbl
@@ -312,6 +314,7 @@ func (st *runState) addPostPropagation(g *sched.Graph, r *mpi.Rank, w *workload)
 			}
 			if st.cfg.Trace != nil {
 				post, label, rank := x.P.Now(), st.labels().bcastWire[l], r.ID
+				//scaffe:nolint hotpath trace-only completion hook; timing runs (nil Trace) never build it
 				req.OnComplete(func() {
 					// The hook runs in kernel context at completion
 					// time, so the current virtual time IS the
@@ -410,6 +413,7 @@ func (st *runState) addUpdate(g *sched.Graph, w *workload, workers int) {
 	})
 	g.Add(0, sched.Generic, "", "post-update", func(x *sched.Ctx) {
 		if w.real() {
+			//scaffe:nolint hotpath losses is pre-sized to cfg.Iterations in run(); append never regrows
 			st.losses = append(st.losses, w.loss())
 		}
 		st.maybeEvaluate(x.R, w, x.It)
@@ -436,6 +440,7 @@ func (st *runState) addLocalUpdate(g *sched.Graph, r *mpi.Rank, w *workload) {
 	g.Add(0, sched.Generic, "", "post-update", func(x *sched.Ctx) {
 		if st.isRoot(r) {
 			if w.real() {
+				//scaffe:nolint hotpath losses is pre-sized to cfg.Iterations in run(); append never regrows
 				st.losses = append(st.losses, w.loss())
 			}
 			st.maybeEvaluate(x.R, w, x.It)

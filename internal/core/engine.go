@@ -152,6 +152,7 @@ func run(cfg Config) (*Result, *runState, error) {
 	}
 
 	st := &runState{cfg: &cfg, cluster: cluster, k: k}
+	st.losses = make([]float32, 0, cfg.Iterations)
 	st.world = mpi.NewWorld(cluster, cfg.GPUs)
 	st.comm = st.world.WorldComm()
 	var pl *fault.Plane

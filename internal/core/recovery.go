@@ -276,6 +276,7 @@ func (st *runState) evictStraggler(factor float64) {
 	n := st.comm.Size()
 	for g := 0; g < n; g++ {
 		if e := st.iterEWMA[st.comm.WorldRank(g)]; e > 0 {
+			//scaffe:nolint hotpath scratch is preallocated to world size; [:0] reuse never regrows
 			s = append(s, e)
 		}
 	}

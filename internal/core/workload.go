@@ -155,13 +155,21 @@ func (w *workload) loadBatch(ds data.Dataset, iter, globalBatch, rankOffset int)
 		return
 	}
 	if w.input == nil {
-		sh := ds.Shape()
-		w.input = tensor.New(w.localBatch, sh.C, sh.H, sh.W)
-		w.labels = make([]int, w.localBatch)
+		w.initInput(ds)
 	}
 	start := iter*globalBatch + rankOffset
 	data.BatchTensorInto(ds, start, w.localBatch, w.input.Data, w.labels)
 	w.net.ZeroGrads()
+}
+
+// initInput allocates the rank's input tensor and label buffer on
+// first use; every later iteration loads into the same buffers.
+//
+//scaffe:coldpath first-use input/label allocation, reused across iterations
+func (w *workload) initInput(ds data.Dataset) {
+	sh := ds.Shape()
+	w.input = tensor.New(w.localBatch, sh.C, sh.H, sh.W)
+	w.labels = make([]int, w.localBatch)
 }
 
 // beginForward resets activation threading.

@@ -94,6 +94,8 @@ func (d *Synthetic) Classes() int { return d.classes }
 
 // At implements Dataset. Sample i is derived from (seed, i) only, so
 // every rank sees the same dataset.
+//
+//scaffe:coldpath stateless convenience accessor; the batch path uses ReadInto (Filler), which fills the caller's buffer
 func (d *Synthetic) At(i int) Sample {
 	img := make([]float32, d.shape.Elems())
 	label := d.ReadInto(i, img)

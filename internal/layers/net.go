@@ -137,6 +137,7 @@ func (n *Net) PackParams(dst []float32) []float32 {
 	dst = dst[:0]
 	for _, l := range n.Layers {
 		for _, p := range l.Params() {
+			//scaffe:nolint hotpath appends into the caller's reused dst[:0] buffer; steady state stays at high-water capacity
 			dst = append(dst, p.Data...)
 		}
 	}

@@ -23,24 +23,30 @@ import (
 //  3. no `range` over a map whose body feeds an ordered output (trace
 //     span emission or an MPI send) — map order is randomized per run,
 //     so the resulting span/wire order would differ run to run;
-//  4. functions annotated //scaffe:parallel — code that runs inside the
-//     speculative part of a parallel-lookahead batch (DESIGN.md §13) —
-//     must not touch package-level variables or send on channels other
-//     than the kernel's wake/yield/home mailboxes. Speculative segments
-//     run concurrently; any shared state they reach must instead be
+//  4. code that runs inside the speculative part of a
+//     parallel-lookahead batch (DESIGN.md §13) — annotated
+//     //scaffe:parallel, or reachable from an annotated root through
+//     non-serial call-graph edges — must not touch package-level
+//     variables or send on channels other than the kernel's
+//     wake/yield/home mailboxes. Speculative segments run
+//     concurrently; any shared state they reach must instead be
 //     staged on the segment or deferred behind Proc.Exclusive.
+//     Stage-guarded and post-Exclusive regions of a body are exempt:
+//     they provably run on the serial commit lane (see exclusive.go).
 
 // globalRandAllowed lists math/rand package functions that are pure
 // constructors and therefore deterministic to call.
 var globalRandAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
 
-func runDeterminism(pkg *Pkg, report func(pos token.Pos, msg string)) {
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			if fn, ok := decl.(*ast.FuncDecl); ok && isParallelSection(fn) && fn.Body != nil {
-				checkParallelSection(pkg, fn, report)
-			}
+func runDeterminism(prog *Program, pkg *Pkg, report func(pos token.Pos, msg string)) {
+	for _, n := range prog.Graph.NodesOf(pkg) {
+		chain, ok := prog.Par[n]
+		if !ok {
+			continue
 		}
+		checkParallelSection(pkg, n, chainSuffix("parallel", chain, n.Par), coldGuard(pkg, n, report))
+	}
+	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch node := n.(type) {
 			case *ast.CallExpr:
@@ -131,10 +137,18 @@ func isParallelSection(fn *ast.FuncDecl) bool {
 var mailboxChannels = map[string]bool{"wake": true, "yield": true, "home": true}
 
 // checkParallelSection enforces the shared-state rules inside one
-// //scaffe:parallel function: no package-level variable access, no
-// sends on non-mailbox channels.
-func checkParallelSection(pkg *Pkg, fn *ast.FuncDecl, report func(pos token.Pos, msg string)) {
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+// parallel-obligated function: no package-level variable access, no
+// sends on non-mailbox channels. Serial-context regions (stage-guarded
+// or post-Exclusive) are exempt.
+func checkParallelSection(pkg *Pkg, fn *FuncNode, suffix string, report0 func(pos token.Pos, msg string)) {
+	serial := serialSpans(pkg, fn.Body())
+	report := func(pos token.Pos, msg string) {
+		if serial.contains(pos) {
+			return
+		}
+		report0(pos, msg+suffix)
+	}
+	inspectBody(fn, func(n ast.Node) {
 		switch node := n.(type) {
 		case *ast.Ident:
 			if v := pkgLevelVar(pkg, node); v != nil {
@@ -147,7 +161,6 @@ func checkParallelSection(pkg *Pkg, fn *ast.FuncDecl, report func(pos token.Pos,
 					"%s sends on a non-mailbox channel; only the kernel's wake/yield/home batons may be signalled from a speculative segment", parallelDirective))
 			}
 		}
-		return true
 	})
 }
 

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEscapeGateSeeded compiles the self-contained escfix module and
+// checks the gate finds the seeded escapes, attributing the one in the
+// unannotated leaf to the //scaffe:hotpath root through the chain.
+func TestEscapeGateSeeded(t *testing.T) {
+	src := filepath.Join(moduleRoot(t), "internal", "lint", "testdata", "escfix")
+	dir := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	findings, err := EscapeCheck(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) < 2 {
+		t.Fatalf("got %d escape finding(s), want >= 2: %v", len(findings), findings)
+	}
+	var leaf, grow bool
+	for _, f := range findings {
+		if f.Func == "escfix.newItem" && strings.Contains(f.Msg, "escapes to heap") {
+			leaf = true
+			if !strings.Contains(f.Chain, "escfix.Step") {
+				t.Errorf("leaf escape does not name the annotated root: chain %q", f.Chain)
+			}
+		}
+		if f.Func == "escfix.Grow" && strings.Contains(f.Msg, "make([]int, n)") {
+			grow = true
+			if f.Chain != "" {
+				t.Errorf("directly annotated root should have no chain, got %q", f.Chain)
+			}
+		}
+	}
+	if !leaf {
+		t.Errorf("no escape attributed to escfix.newItem: %v", findings)
+	}
+	if !grow {
+		t.Errorf("no make escape attributed to escfix.Grow: %v", findings)
+	}
+}
+
+// TestEscapeGateRepoMatchesBaseline is the gate's self-check: the real
+// tree's hot-set escapes must equal the checked-in lint.baseline —
+// no new escapes, no stale entries.
+func TestEscapeGateRepoMatchesBaseline(t *testing.T) {
+	root := moduleRoot(t)
+	findings, err := EscapeCheck(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	content, err := os.ReadFile(filepath.Join(root, "lint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, stale := DiffBaseline(findings, ParseBaseline(string(content)))
+	for _, f := range fresh {
+		t.Errorf("new hot-set escape not in lint.baseline: %s", f)
+	}
+	for _, k := range stale {
+		t.Errorf("stale lint.baseline entry (compiler no longer reports it): %s", k)
+	}
+}
+
+// TestBaselineRoundTrip pins the baseline file format: format, parse,
+// and diff agree, and keys carry no line numbers.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []EscapeFinding{
+		{File: "a/x.go", Line: 10, Func: "a.F", Msg: "&T{...} escapes to heap"},
+		{File: "a/x.go", Line: 99, Func: "a.F", Msg: "&T{...} escapes to heap"}, // same key, other line
+		{File: "b/y.go", Line: 3, Func: "b.G", Chain: "b.Root → b.G", Msg: "moved to heap: v"},
+	}
+	content := FormatBaseline(findings)
+	keys := ParseBaseline(content)
+	if len(keys) != 2 {
+		t.Fatalf("got %d baseline keys, want 2 (line numbers must not split keys):\n%s", len(keys), content)
+	}
+	fresh, stale := DiffBaseline(findings, keys)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("round trip not clean: fresh=%v stale=%v", fresh, stale)
+	}
+	fresh, _ = DiffBaseline(append(findings, EscapeFinding{File: "c/z.go", Func: "c.H", Msg: "x escapes to heap"}), keys)
+	if len(fresh) != 1 || fresh[0].Func != "c.H" {
+		t.Fatalf("new escape not detected: %v", fresh)
+	}
+}

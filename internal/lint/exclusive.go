@@ -1,0 +1,410 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The exclusive pass closes the PR-7 gap where the //scaffe:parallel
+// rules saw only the annotated frame: it checks the staging discipline
+// of the parallel-lookahead kernel (DESIGN.md §13) across the whole
+// parallel-reachable set. Two rules:
+//
+//  1. sink discipline — code holding a parallel obligation (annotated
+//     //scaffe:parallel, or reachable from such a root through the call
+//     graph) must not call a kernel-visible sink — the Kernel's
+//     scheduling entry points or a Completion's firing methods —
+//     except in serial context: lexically inside or after a stage
+//     guard (a branch on Proc.stage, the "am I speculating?" check),
+//     or after a Proc.Exclusive demotion. Everything else must stage
+//     the effect through the parSegment API.
+//  2. segment-mutation discipline — parSegment fields (staged, tail,
+//     finishing, failure) and Proc.stage may only be mutated by the
+//     staging API itself: parSegment and parKernel methods,
+//     Proc.Exclusive, and Kernel.Spawn's exit protocol. A stray
+//     mutation elsewhere corrupts the commit loop's replay order.
+//
+// Both rules match the kernel types by receiver/owner type name
+// (Kernel, Completion, Proc, parSegment), so the fixture suite can
+// model them without importing unexported sim internals; outside
+// internal/sim and the fixtures the pass does not apply (see Applies
+// in lint.go).
+
+// kernelSinks names the serial-only scheduling/firing methods per
+// owning type.
+// FireFrom is deliberately absent: it is the staging-aware wrapper
+// (it branches on actor.stage itself), so speculative callers may use
+// it freely.
+var kernelSinks = map[string]map[string]bool{
+	"Kernel":     {"schedule": true, "At": true, "After": true, "AtRun": true, "atResume": true, "atResumeIf": true, "atFire": true, "wakeAt": true},
+	"Completion": {"Fire": true, "FireIf": true, "FireAt": true},
+}
+
+// segmentFields are the parSegment fields rule 2 protects.
+var segmentFields = map[string]bool{"staged": true, "tail": true, "finishing": true, "failure": true}
+
+func runExclusive(prog *Program, pkg *Pkg, report func(pos token.Pos, msg string)) {
+	for _, n := range prog.Graph.NodesOf(pkg) {
+		if isStagingAPI(n) {
+			continue
+		}
+		chain, par := prog.Par[n]
+		suffix := chainSuffix("parallel", chain, n.Par)
+		report := coldGuard(pkg, n, report)
+		serial := serialSpans(pkg, n.Body())
+		inspectBody(n, func(x ast.Node) {
+			switch node := x.(type) {
+			case *ast.CallExpr:
+				if !par {
+					return
+				}
+				owner, name := sinkCall(pkg, node)
+				if owner == "" || serial.contains(node.Pos()) {
+					return
+				}
+				report(node.Pos(), fmt.Sprintf(
+					"%s.%s is a kernel-visible effect outside serial context; stage it on the segment (parSegment.add) or demote via Proc.Exclusive first%s", owner, name, suffix))
+			case *ast.AssignStmt:
+				for _, lhs := range node.Lhs {
+					checkSegmentMutation(pkg, lhs, report)
+				}
+			case *ast.IncDecStmt:
+				checkSegmentMutation(pkg, node.X, report)
+			}
+		})
+	}
+}
+
+// sinkCall reports the (owner type, method) of a kernel sink call, or
+// ("", "").
+func sinkCall(pkg *Pkg, call *ast.CallExpr) (owner, name string) {
+	fn := calleeFunc(pkg, call)
+	if fn == nil {
+		return "", ""
+	}
+	recv := recvTypeName(fn)
+	if recv == "" {
+		return "", ""
+	}
+	if sinks, ok := kernelSinks[recv]; ok && sinks[fn.Name()] {
+		return recv, fn.Name()
+	}
+	return "", ""
+}
+
+// checkSegmentMutation flags assignments to parSegment fields or to a
+// Proc's stage pointer outside the staging API.
+func checkSegmentMutation(pkg *Pkg, lhs ast.Expr, report func(pos token.Pos, msg string)) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	field := fieldVarOf(pkg, sel)
+	if field == nil {
+		return
+	}
+	owner := ownerTypeName(pkg, sel.X)
+	switch {
+	case owner == "parSegment" && segmentFields[field.Name()]:
+		report(lhs.Pos(), fmt.Sprintf(
+			"direct mutation of parSegment.%s outside the staging API; only parSegment/parKernel methods, Proc.Exclusive, and Kernel.Spawn may touch segment state", field.Name()))
+	case owner == "Proc" && field.Name() == "stage":
+		report(lhs.Pos(), "direct mutation of Proc.stage outside the staging API; the batch driver alone arms and disarms speculation")
+	}
+}
+
+// isStagingAPI reports whether n (or, for literals, its enclosing
+// declaration) is part of the sanctioned staging machinery.
+func isStagingAPI(n *FuncNode) bool {
+	for ; n != nil; n = n.Encl {
+		if n.Decl == nil {
+			continue
+		}
+		recv := declRecvName(n.Decl)
+		if recv == "parSegment" || recv == "parKernel" {
+			return true
+		}
+		if recv == "Proc" && n.Decl.Name.Name == "Exclusive" {
+			return true
+		}
+		if recv == "Kernel" && n.Decl.Name.Name == "Spawn" {
+			return true
+		}
+	}
+	return false
+}
+
+// declRecvName returns the receiver's base type name, or "".
+func declRecvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// recvTypeName returns fn's receiver base type name, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	return baseTypeName(sig.Recv().Type())
+}
+
+// ownerTypeName resolves the static type of expr to its base named
+// type's name, or "".
+func ownerTypeName(pkg *Pkg, expr ast.Expr) string {
+	t := pkg.Info.TypeOf(expr)
+	if t == nil {
+		return ""
+	}
+	return baseTypeName(t)
+}
+
+func baseTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// --- serial-context analysis ----------------------------------------------
+
+// posSpans is a sorted list of [from,to) position ranges.
+type posSpans []struct{ from, to token.Pos }
+
+func (s posSpans) contains(p token.Pos) bool {
+	for _, span := range s {
+		if p >= span.from && p < span.to {
+			return true
+		}
+	}
+	return false
+}
+
+// serialSpans computes the regions of body that provably run in serial
+// context under the optimistic lexical rule:
+//
+//   - an if statement whose init/cond tests the proc's stage (a
+//     selector named "stage", or a variable assigned from one) is
+//     stage-aware: its whole subtree, and everything after it in the
+//     same block, is serial — the author branched on "am I
+//     speculating?", and the speculative arm returns into the staging
+//     API;
+//   - a statement that merely contains such an if deeper inside
+//     likewise serializes the remainder of its block;
+//   - after a Proc.Exclusive() call the segment is demoted: the rest
+//     of the block runs on the commit lane.
+//
+// The optimism mirrors flow.go: real kernel patterns never
+// false-positive, and a sink call with no stage awareness anywhere
+// before it cannot be excused.
+func serialSpans(pkg *Pkg, body *ast.BlockStmt) posSpans {
+	w := &serialWalker{pkg: pkg, stageVars: make(map[types.Object]bool)}
+	w.walkStmts(body.List, body.End())
+	return w.spans
+}
+
+type serialWalker struct {
+	pkg       *Pkg
+	stageVars map[types.Object]bool
+	spans     posSpans
+}
+
+func (w *serialWalker) mark(from, to token.Pos) {
+	w.spans = append(w.spans, struct{ from, to token.Pos }{from, to})
+}
+
+// walkStmts processes one block; blockEnd bounds the "rest of block is
+// serial" span.
+func (w *serialWalker) walkStmts(stmts []ast.Stmt, blockEnd token.Pos) {
+	serial := false
+	for _, s := range stmts {
+		if serial {
+			// Remainder already marked; keep collecting stage vars for
+			// nested blocks walked later (none: we stop descending).
+			continue
+		}
+		w.collectStageVars(s)
+		switch {
+		case isStageIf(w, s):
+			w.mark(s.Pos(), s.End())
+			serial = true
+			w.mark(s.End(), blockEnd)
+		case containsStageIf(w, s):
+			w.walkCompound(s)
+			serial = true
+			w.mark(s.End(), blockEnd)
+		case isExclusiveStmt(w.pkg, s):
+			serial = true
+			w.mark(s.End(), blockEnd)
+		default:
+			w.walkCompound(s)
+		}
+	}
+}
+
+// walkCompound recurses into a statement's sub-blocks, skipping
+// function literals (their own analyses).
+func (w *serialWalker) walkCompound(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, st.End())
+	case *ast.IfStmt:
+		if st.Body != nil {
+			w.walkStmts(st.Body.List, st.Body.End())
+		}
+		if st.Else != nil {
+			w.walkCompound(st.Else)
+		}
+	case *ast.ForStmt:
+		w.walkStmts(st.Body.List, st.Body.End())
+	case *ast.RangeStmt:
+		w.walkStmts(st.Body.List, st.Body.End())
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, cc.End())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, cc.End())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, cc.End())
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkCompound(st.Stmt)
+	}
+}
+
+// collectStageVars records variables assigned from a stage selector
+// anywhere inside s (x := p.stage, s = actor.stage).
+func (w *serialWalker) collectStageVars(s ast.Stmt) {
+	ast.Inspect(s, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		asg, ok := x.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if i >= len(asg.Lhs) {
+				break
+			}
+			if !w.isStageExpr(rhs) {
+				continue
+			}
+			if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+				if obj := w.pkg.Info.Defs[id]; obj != nil {
+					w.stageVars[obj] = true
+				} else if obj := w.pkg.Info.Uses[id]; obj != nil {
+					w.stageVars[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isStageExpr reports whether expr reads the stage: a selector named
+// "stage" or a previously collected stage variable.
+func (w *serialWalker) isStageExpr(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "stage"
+	case *ast.Ident:
+		if obj := w.pkg.Info.Uses[e]; obj != nil {
+			return w.stageVars[obj]
+		}
+	}
+	return false
+}
+
+// isStageIf reports whether s is an if statement testing the stage in
+// its init or condition.
+func isStageIf(w *serialWalker, s ast.Stmt) bool {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	if ifs.Init != nil {
+		w.collectStageVars(ifs.Init)
+	}
+	found := false
+	check := func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if e.Sel.Name == "stage" {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := w.pkg.Info.Uses[e]; obj != nil && w.stageVars[obj] {
+				found = true
+			}
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	}
+	if ifs.Init != nil {
+		ast.Inspect(ifs.Init, check)
+	}
+	ast.Inspect(ifs.Cond, check)
+	return found
+}
+
+// containsStageIf reports whether a stage-testing if nests anywhere
+// inside s.
+func containsStageIf(w *serialWalker, s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if ifs, ok := x.(*ast.IfStmt); ok {
+			if isStageIf(w, ifs) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isExclusiveStmt reports whether s is a bare Proc.Exclusive() call.
+func isExclusiveStmt(pkg *Pkg, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pkg, call)
+	return fn != nil && fn.Name() == "Exclusive" && recvTypeName(fn) == "Proc"
+}

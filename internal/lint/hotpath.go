@@ -7,10 +7,12 @@ import (
 	"go/types"
 )
 
-// The hotpath pass enforces the PR-2 zero-allocation contract on
-// functions annotated //scaffe:hotpath: the steady-state training
-// iteration must not allocate, so these bodies may not contain
-// constructs that allocate or are likely to. Flagged:
+// The hotpath pass enforces the PR-2 zero-allocation contract: the
+// steady-state training iteration must not allocate. Since PR 9 the
+// contract is interprocedural — the pass checks every function holding
+// a hotpath obligation, whether annotated //scaffe:hotpath directly or
+// reached from an annotated root through the call graph (the
+// diagnostic then names the chain). Flagged:
 //
 //   - slice/map composite literals and &T{} pointer literals,
 //   - make/new/append (append may grow; pre-size in setup code),
@@ -21,23 +23,38 @@ import (
 //   - implicit interface boxing of non-pointer arguments.
 //
 // Code inside panic(...) arguments is exempt: a panicking path has
-// already left the steady state.
+// already left the steady state. Lines under a //scaffe:coldpath
+// call-site directive are exempt as deliberate slow-path departures.
 
-func runHotpath(pkg *Pkg, report func(pos token.Pos, msg string)) {
-	for _, f := range pkg.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !isHotpath(fn) {
-				continue
-			}
-			checkHotBody(pkg, fn.Body, report)
+func runHotpath(prog *Program, pkg *Pkg, report func(pos token.Pos, msg string)) {
+	for _, n := range prog.Graph.NodesOf(pkg) {
+		chain, ok := prog.Hot[n]
+		if !ok {
+			continue
 		}
+		checkHotBody(pkg, n, chainSuffix("hotpath", chain, n.Hot), coldGuard(pkg, n, report))
 	}
 }
 
-func checkHotBody(pkg *Pkg, body *ast.BlockStmt, report func(pos token.Pos, msg string)) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch node := n.(type) {
+// coldGuard wraps report to drop diagnostics on lines covered by a
+// call-site //scaffe:coldpath directive in n's file.
+func coldGuard(pkg *Pkg, n *FuncNode, report func(pos token.Pos, msg string)) func(token.Pos, string) {
+	cold := coldCallLines(pkg, n)
+	if cold == nil {
+		return report
+	}
+	return func(pos token.Pos, msg string) {
+		if cold[pkg.Fset.Position(pos).Line] {
+			return
+		}
+		report(pos, msg)
+	}
+}
+
+func checkHotBody(pkg *Pkg, n *FuncNode, suffix string, report0 func(pos token.Pos, msg string)) {
+	report := func(pos token.Pos, msg string) { report0(pos, msg+suffix) }
+	inspectBody(n, func(x ast.Node) {
+		switch node := x.(type) {
 		case *ast.CompositeLit:
 			switch t := pkg.Info.TypeOf(node); t.Underlying().(type) {
 			case *types.Slice:
@@ -45,7 +62,6 @@ func checkHotBody(pkg *Pkg, body *ast.BlockStmt, report func(pos token.Pos, msg 
 			case *types.Map:
 				report(node.Pos(), "map literal allocates in a //scaffe:hotpath function; hoist to setup")
 			}
-			return true
 
 		case *ast.UnaryExpr:
 			if node.Op == token.AND {
@@ -53,52 +69,47 @@ func checkHotBody(pkg *Pkg, body *ast.BlockStmt, report func(pos token.Pos, msg 
 					report(node.Pos(), "&T{} escapes to the heap in a //scaffe:hotpath function; reuse a preallocated value")
 				}
 			}
-			return true
 
 		case *ast.BinaryExpr:
 			if node.Op == token.ADD && isStringType(pkg.Info.TypeOf(node)) {
 				report(node.Pos(), "string concatenation allocates in a //scaffe:hotpath function")
 			}
-			return true
 
 		case *ast.FuncLit:
+			// The literal's own body is its own graph node, checked
+			// with the propagated chain; here only the closure value
+			// itself is the allocation.
 			report(node.Pos(), "function literal in a //scaffe:hotpath function; captured variables allocate a closure")
-			return false // don't double-report its body
 
 		case *ast.GoStmt:
 			report(node.Pos(), "go statement in a //scaffe:hotpath function; spawn workers during setup, not per iteration")
-			return true
 
 		case *ast.CallExpr:
-			return checkHotCall(pkg, node, report)
+			checkHotCall(pkg, node, report)
 		}
-		return true
 	})
 }
 
-// checkHotCall flags allocating calls; returns false to skip the
-// subtree (panic arguments are cold paths).
-func checkHotCall(pkg *Pkg, call *ast.CallExpr, report func(pos token.Pos, msg string)) bool {
+// checkHotCall flags allocating calls. Panic arguments never reach
+// here: inspectBody skips them.
+func checkHotCall(pkg *Pkg, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if obj, ok := pkg.Info.Uses[id].(*types.Builtin); ok {
 			switch obj.Name() {
-			case "panic":
-				return false // already off the hot path
 			case "append":
 				report(call.Pos(), "append may grow its backing array in a //scaffe:hotpath function; pre-size in setup")
 			case "make", "new":
 				report(call.Pos(), obj.Name()+" allocates in a //scaffe:hotpath function; hoist to setup")
 			}
-			return true
+			return
 		}
 	}
 	fn := calleeFunc(pkg, call)
 	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
 		report(call.Pos(), fmt.Sprintf("fmt.%s allocates in a //scaffe:hotpath function; format outside the iteration", fn.Name()))
-		return true
+		return
 	}
 	checkBoxing(pkg, call, fn, report)
-	return true
 }
 
 // checkBoxing flags arguments whose concrete non-pointer value is

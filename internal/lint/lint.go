@@ -15,6 +15,16 @@
 //     closures must not issue blocking MPI calls.
 //   - trace: a span opened with Recorder.Begin must be ended on every
 //     return path.
+//   - exclusive: code holding a parallel obligation must route
+//     kernel-visible effects (Kernel scheduling sinks, Completion
+//     firing) through the parSegment staging API unless it is in
+//     serial context, and segment state may only be mutated by the
+//     staging machinery itself.
+//
+// Since PR 9 the hotpath, parallel, and exclusive obligations are
+// interprocedural (DESIGN.md §15): Analyze builds a module-wide call
+// graph and floods each annotation over it, so a diagnostic fires in
+// an unannotated callee with the annotated root named in the message.
 //
 // The analyzer is pure stdlib (go/parser + go/types with a
 // module-aware source importer), so it runs offline with no
@@ -23,13 +33,22 @@
 // Annotation grammar:
 //
 //	//scaffe:hotpath
-//	    On a function's doc comment: the function body is subject to
+//	    On a function's doc comment: the function body — and
+//	    everything it may reach through the call graph — is subject to
 //	    the hotpath allocation rules.
 //
 //	//scaffe:parallel
 //	    On a function's doc comment: the function runs inside the
-//	    speculative part of a parallel-lookahead batch and is subject
-//	    to the determinism pass's shared-state rules.
+//	    speculative part of a parallel-lookahead batch; it and its
+//	    non-stage-guarded callees are subject to the determinism
+//	    pass's shared-state rules and the exclusive pass's staging
+//	    discipline.
+//
+//	//scaffe:coldpath <reason>
+//	    In a function's doc comment: the function is a declared slow
+//	    path; propagated obligations stop at its boundary. On its own
+//	    line inside a body: the calls on that line and the next are a
+//	    deliberate slow-path departure. The reason is mandatory.
 //
 //	//scaffe:nolint <pass> <reason>
 //	    On (or immediately above) the offending line: suppresses that
@@ -66,8 +85,10 @@ type Pass struct {
 	// Applies restricts the pass to certain import paths; nil means
 	// every analyzed package.
 	Applies func(pkgPath string) bool
-	// Run reports findings via report (positions inside pkg.Fset).
-	Run func(pkg *Pkg, report func(token.Pos, string))
+	// Run reports findings for one package via report (positions
+	// inside pkg.Fset); prog carries the module-wide call graph and
+	// the propagated obligation sets.
+	Run func(prog *Program, pkg *Pkg, report func(token.Pos, string))
 }
 
 // deterministicScope lists the import-path prefixes whose determinism
@@ -114,6 +135,12 @@ func Passes() []*Pass {
 			Doc:  "spans opened by Begin are ended on all return paths",
 			Run:  runTrace,
 		},
+		{
+			Name:    "exclusive",
+			Doc:     "parallel-reachable code stages kernel effects through parSegment; segment state mutates only via the staging API",
+			Applies: inDeterministicScope,
+			Run:     runExclusive,
+		},
 	}
 }
 
@@ -126,11 +153,32 @@ func passNames() map[string]bool {
 	return m
 }
 
-// Analyze loads the packages matched by patterns under moduleDir, runs
-// every applicable pass, applies //scaffe:nolint suppressions, and
-// returns the surviving diagnostics sorted by position.
+// Analyze loads the packages matched by patterns under moduleDir
+// (through the process-wide shared loader, so repeated invocations
+// reuse the type-checked load), builds the interprocedural Program
+// over them, runs every applicable pass, applies //scaffe:nolint
+// suppressions, and returns the surviving diagnostics sorted by
+// position.
 func Analyze(moduleDir string, patterns []string) ([]Diagnostic, error) {
-	loader, err := NewLoader(moduleDir)
+	prog, err := LoadProgram(moduleDir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		diags = append(diags, analyzePackage(prog, pkg)...)
+	}
+	for _, h := range prog.hygiene {
+		diags = append(diags, Diagnostic{Pos: h.pkg.Fset.Position(h.pos), Pass: "nolint", Message: h.msg})
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// LoadProgram loads the matched packages and builds the call graph and
+// propagated obligation sets over them.
+func LoadProgram(moduleDir string, patterns []string) (*Program, error) {
+	loader, err := SharedLoader(moduleDir)
 	if err != nil {
 		return nil, err
 	}
@@ -138,30 +186,23 @@ func Analyze(moduleDir string, patterns []string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		diags = append(diags, AnalyzePackage(pkg)...)
-	}
-	sortDiagnostics(diags)
-	return diags, nil
+	return NewProgram(pkgs), nil
 }
 
-// AnalyzePackage runs every applicable pass over one loaded package
+// analyzePackage runs every applicable pass over one loaded package
 // and post-processes nolint suppressions.
-func AnalyzePackage(pkg *Pkg) []Diagnostic {
+func analyzePackage(prog *Program, pkg *Pkg) []Diagnostic {
 	var diags []Diagnostic
 	for _, pass := range Passes() {
 		if pass.Applies != nil && !pass.Applies(pkg.Path) {
 			continue
 		}
 		p := pass
-		p.Run(pkg, func(pos token.Pos, msg string) {
+		p.Run(prog, pkg, func(pos token.Pos, msg string) {
 			diags = append(diags, Diagnostic{Pos: pkg.Fset.Position(pos), Pass: p.Name, Message: msg})
 		})
 	}
-	diags = applyNolint(pkg, diags)
-	sortDiagnostics(diags)
-	return diags
+	return applyNolint(pkg, diags)
 }
 
 func sortDiagnostics(diags []Diagnostic) {

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Pkg is one parsed and type-checked package ready for analysis.
@@ -44,6 +45,36 @@ type Loader struct {
 	fset *token.FileSet
 	std  types.Importer
 	pkgs map[string]*Pkg
+}
+
+var (
+	sharedMu      sync.Mutex
+	sharedLoaders = make(map[string]*Loader)
+)
+
+// SharedLoader returns a process-wide cached loader for moduleDir.
+// Parsing and type-checking dominate the linter's wall time, and the
+// fixture harness plus the repo self-check call Analyze a dozen times
+// over the same module — sharing the loader means each package
+// type-checks once per process. Callers must not mutate sources
+// between calls within one process (the CLI is one-shot; tests do
+// not).
+func SharedLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if l, ok := sharedLoaders[abs]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(abs)
+	if err != nil {
+		return nil, err
+	}
+	sharedLoaders[abs] = l
+	return l, nil
 }
 
 // NewLoader creates a loader rooted at moduleDir, reading the module

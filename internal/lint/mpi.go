@@ -25,7 +25,7 @@ import (
 //     one deadlocks the rank the moment the main thread enters the
 //     same collective.
 
-func runMPI(pkg *Pkg, report func(pos token.Pos, msg string)) {
+func runMPI(_ *Program, pkg *Pkg, report func(pos token.Pos, msg string)) {
 	runFlow(pkg, flowSpec{
 		creator: requestCreator,
 		discardMsg: func(c string) string {

@@ -1,0 +1,36 @@
+// Package escfix seeds compiler-verified escapes for the escape gate:
+// a self-contained module (its own go.mod) the test copies to a temp
+// dir and compiles with -gcflags=-m=1. The escapes sit in an
+// unannotated function reachable from the //scaffe:hotpath root, so a
+// finding must carry the propagation chain naming the root.
+package escfix
+
+// Sink keeps the pointers reachable so the compiler cannot
+// stack-allocate them.
+var Sink *Item
+
+type Item struct {
+	v [4]int
+}
+
+// newItem is the allocating leaf: no annotation of its own.
+func newItem() *Item {
+	it := &Item{}
+	Sink = it
+	return it
+}
+
+// Step is the annotated root the gate must name in the chain.
+//
+//scaffe:hotpath
+func Step() *Item {
+	return newItem()
+}
+
+// Grow returns a heap slice from a hot function: a second seeded
+// escape ("make([]int, n) escapes to heap").
+//
+//scaffe:hotpath
+func Grow(n int) []int {
+	return make([]int, n)
+}

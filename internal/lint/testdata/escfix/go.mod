@@ -1,0 +1,3 @@
+module escfix
+
+go 1.22

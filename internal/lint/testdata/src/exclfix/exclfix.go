@@ -1,0 +1,117 @@
+// Package exclfix seeds violations of the parallel-lookahead staging
+// discipline the exclusive pass enforces (DESIGN.md §13): code holding
+// a //scaffe:parallel obligation may not reach a kernel-visible sink
+// (Kernel scheduling entry points, Completion firing methods) outside
+// serial context, and the parSegment's state fields may only be
+// mutated by the staging API itself — that second rule is
+// unconditional, it binds serial helpers too. The types mirror the
+// sim kernel's by name, which is how the pass matches them.
+package exclfix
+
+type Time int64
+
+type event struct {
+	at Time
+}
+
+type parSegment struct {
+	staged    []event
+	tail      bool
+	finishing bool
+	failure   any
+}
+
+// add is the staging API: parSegment methods may touch segment state.
+func (s *parSegment) add(e event) {
+	s.staged = append(s.staged, e)
+}
+
+type Proc struct {
+	stage *parSegment
+	seg   parSegment
+}
+
+// Exclusive is staging API: the demotion protocol owns the tail flag.
+func (p *Proc) Exclusive() {
+	if s := p.stage; s != nil {
+		s.tail = true
+	}
+}
+
+type Completion struct {
+	fired bool
+}
+
+func (c *Completion) Fire() {
+	c.fired = true
+}
+
+func (c *Completion) FireIf(seq uint64) {}
+
+type Kernel struct {
+	now Time
+}
+
+func (k *Kernel) At(t Time, fn func()) {}
+
+func (k *Kernel) schedule(e event) {}
+
+func (k *Kernel) wakeAt(p *Proc, t Time) {}
+
+// speculativeFire reaches kernel sinks with no stage awareness
+// anywhere before them: both calls must be staged or demoted.
+//
+//scaffe:parallel
+func speculativeFire(k *Kernel, c *Completion) {
+	k.At(k.now, func() {}) // want `Kernel\.At is a kernel-visible effect outside serial context`
+	c.Fire()               // want `Completion\.Fire is a kernel-visible effect outside serial context`
+}
+
+// rootSpec propagates the obligation: helperFires carries no
+// annotation, and the diagnostics name the root.
+//
+//scaffe:parallel
+func rootSpec(k *Kernel, c *Completion) {
+	helperFires(k, c)
+}
+
+func helperFires(k *Kernel, c *Completion) {
+	k.wakeAt(nil, k.now) // want `Kernel\.wakeAt.*via exclfix\.rootSpec → exclfix\.helperFires`
+	c.FireIf(7)          // want `Completion\.FireIf.*via exclfix\.rootSpec → exclfix\.helperFires`
+}
+
+// speculativeMutates pokes segment state directly instead of going
+// through the staging API.
+//
+//scaffe:parallel
+func speculativeMutates(p *Proc) {
+	p.seg.tail = true // want `direct mutation of parSegment\.tail`
+	p.stage = nil     // want `direct mutation of Proc\.stage`
+}
+
+// serialPoke shows rule 2 is unconditional: no parallel annotation,
+// still flagged.
+func serialPoke(p *Proc) {
+	p.seg.finishing = true // want `direct mutation of parSegment\.finishing`
+}
+
+// stagedProperly is the clean twin: the stage guard routes the
+// speculative arm through the staging API, so the sink call after the
+// guard provably runs in serial context. Silent.
+//
+//scaffe:parallel
+func stagedProperly(p *Proc, k *Kernel, c *Completion) {
+	if s := p.stage; s != nil {
+		s.add(event{at: k.now})
+		return
+	}
+	c.Fire()
+}
+
+// demotesFirst serializes via Proc.Exclusive before the sink. Silent.
+//
+//scaffe:parallel
+func demotesFirst(p *Proc, k *Kernel) {
+	p.Exclusive()
+	k.schedule(event{at: k.now})
+}

@@ -81,6 +81,8 @@ func (w *World) getBcastOp(n int) *bcastOp {
 }
 
 // growBcastOp allocates the per-rank slices for an n-rank op.
+//
+//scaffe:coldpath pool-miss/regrow path; steady state reuses pooled ops of the right size
 func growBcastOp(op *bcastOp, n int) *bcastOp {
 	if op == nil {
 		op = &bcastOp{}
@@ -95,6 +97,7 @@ func growBcastOp(op *bcastOp, n int) *bcastOp {
 
 func (w *World) putBcastOp(op *bcastOp) {
 	op.c = nil
+	//scaffe:nolint hotpath pool release; append reuses capacity freed by the matching get
 	w.bcastPool = append(w.bcastPool, op)
 }
 
@@ -276,10 +279,13 @@ func (w *World) getBcastEdge() *bcastEdge {
 }
 
 // newBcastEdge is getBcastEdge's pool-miss path.
+//
+//scaffe:coldpath pool-miss construction; steady state hits the free list
 func newBcastEdge() *bcastEdge { return &bcastEdge{} }
 
 func (w *World) putBcastEdge(e *bcastEdge) {
 	*e = bcastEdge{}
+	//scaffe:nolint hotpath pool release; append reuses capacity freed by the matching get
 	w.edgePool = append(w.edgePool, e)
 }
 

@@ -94,6 +94,8 @@ func (r *Rank) getSummed(buf *gpu.Buffer) *Summed {
 }
 
 // newSummed is getSummed's pool-miss path.
+//
+//scaffe:coldpath pool-miss construction; steady state hits the free list
 func newSummed(r *Rank, buf *gpu.Buffer) *Summed { return &Summed{r: r, buf: buf} }
 
 // release returns a settled header to its rank's free list, keeping
@@ -103,6 +105,7 @@ func (s *Summed) release() {
 	s.r, s.buf, s.src = nil, nil, nil
 	s.sum, s.mode, s.poisoned = 0, 0, false
 	s.clean = s.clean[:0]
+	//scaffe:nolint hotpath pool release; append reuses capacity freed by the matching get
 	r.sumPool = append(r.sumPool, s)
 }
 
@@ -129,6 +132,8 @@ func (s *Summed) deliver(sender *Rank, mode topology.TransferMode) {
 // rounding away — after snapshotting the clean bytes so a retransmit
 // can restore them; timing-mode payloads carry no values, so
 // corruption is a poison marker.
+//
+//scaffe:coldpath fault-injection path; wire corruption is off the fault-free steady state
 func (s *Summed) corrupt() {
 	if len(s.buf.Data) == 0 {
 		s.poisoned = true
@@ -179,6 +184,8 @@ func (s *Summed) Verify() {
 // retransmit books a fresh wire transfer of the chunk from its sender
 // and blocks until it lands; the corruption hook is consulted again so
 // a persistently bad link keeps failing toward escalation.
+//
+//scaffe:coldpath integrity-failure recovery; retransmission only runs after a detected corruption
 func (s *Summed) retransmit() {
 	r := s.r
 	w := r.W

@@ -89,6 +89,8 @@ func (r *Rank) getRequest(buf *gpu.Buffer) *Request {
 }
 
 // newRequest is getRequest's pool-miss path.
+//
+//scaffe:coldpath pool-miss construction; steady state hits the free list
 func (r *Rank) newRequest(buf *gpu.Buffer) *Request {
 	req := &Request{buf: buf}
 	req.Done = &req.done
@@ -107,6 +109,7 @@ func (r *Rank) putRequest(req *Request) {
 	req.deferred = nil
 	req.summed = nil
 	req.next = nil
+	//scaffe:nolint hotpath pool release; append reuses capacity freed by the matching get
 	r.reqPool = append(r.reqPool, req)
 }
 
@@ -126,10 +129,13 @@ func (r *Rank) getPendingSend() *pendingSend {
 }
 
 // newPendingSend is getPendingSend's pool-miss path.
+//
+//scaffe:coldpath pool-miss construction; steady state hits the free list
 func newPendingSend() *pendingSend { return &pendingSend{} }
 
 func (r *Rank) putPendingSend(ps *pendingSend) {
 	*ps = pendingSend{}
+	//scaffe:nolint hotpath pool release; append reuses capacity freed by the matching get
 	r.psPool = append(r.psPool, ps)
 }
 

@@ -82,10 +82,13 @@ func (w *World) getDelivery() *delivery {
 }
 
 // newDelivery is getDelivery's pool-miss path.
+//
+//scaffe:coldpath pool-miss construction; steady state hits the free list
 func newDelivery() *delivery { return &delivery{} }
 
 func (w *World) putDelivery(d *delivery) {
 	*d = delivery{}
+	//scaffe:nolint hotpath pool release; append reuses capacity freed by the matching get
 	w.delPool = append(w.delPool, d)
 }
 

@@ -105,6 +105,7 @@ func NewSlot() *Slot { return &Slot{} }
 // Put appends a request; nil requests are ignored.
 func (s *Slot) Put(req *mpi.Request) {
 	if req != nil {
+		//scaffe:nolint hotpath slots reset to [:0] each Execute; append reuses high-water capacity
 		s.reqs = append(s.reqs, req)
 	}
 }
@@ -293,6 +294,14 @@ func (g *Graph) Execute(tracer Tracer, it int) {
 // runNode waits the node's dependencies and gates, runs its action,
 // emits trace spans, and fires its completion. The untraced path skips
 // all timestamp bookkeeping — it exists only to position spans.
+//
+// runNode is the steady-state iteration's root: every node action the
+// engine registers (Graph.Add stores the callback into Node.action)
+// runs under it once per iteration, so the hotpath obligation declared
+// here propagates through the call graph into those closures and
+// everything they reach.
+//
+//scaffe:hotpath
 func (g *Graph) runNode(n *Node, ctx *Ctx, tracer Tracer) {
 	p := ctx.P
 	if tracer == nil {
@@ -332,6 +341,7 @@ func (g *Graph) runNode(n *Node, ctx *Ctx, tracer Tracer) {
 		// segment serializes before emitting.
 		p.Exclusive()
 		if n.waitLabel == "" {
+			//scaffe:nolint hotpath built once per node on the first traced wait, then cached
 			n.waitLabel = n.label + "/wait"
 		}
 		tracer.NodeSpan(n.lane, n.kind, n.waitPhase, n.waitLabel, start, waited)

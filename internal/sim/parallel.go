@@ -72,7 +72,10 @@ type parSegment struct {
 // to the segment's high-water mark once and is reused ever after.
 //
 //scaffe:parallel
-func (s *parSegment) add(e event) { s.staged = append(s.staged, e) }
+func (s *parSegment) add(e event) {
+	//scaffe:nolint hotpath staged list reaches the segment high-water mark once, then reuses capacity
+	s.staged = append(s.staged, e)
+}
 
 // parKernel is the kernel's parallel-lookahead state.
 type parKernel struct {

@@ -118,6 +118,13 @@ func (p *Proc) park() {
 		p.yield <- struct{}{}
 		<-p.wake
 	} else {
+		// The loopFrom call is a context switch, not a subroutine: the
+		// parking proc's hot frame ends here and the event loop runs
+		// other procs' events under its own gates (the kernel's
+		// //scaffe:hotpath annotations and the zero-alloc steady-state
+		// test), so the caller's obligations must not flood into it.
+		//
+		//scaffe:coldpath control transfer into the event loop; the kernel's own hotpath gates cover it
 		switch k.loopFrom(p) {
 		case loopSelf:
 			// The next event resumes this proc: keep running.

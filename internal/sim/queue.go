@@ -117,6 +117,8 @@ func (r *nowRing) pop() event {
 func (r *nowRing) peek() event { return r.buf[r.head] }
 
 // grow doubles the ring (cold path: runs O(log n) times ever).
+//
+//scaffe:coldpath capacity doubling runs O(log n) times ever; amortized out of steady state
 func (r *nowRing) grow() {
 	size := 2 * len(r.buf)
 	if size < 64 {
@@ -327,6 +329,8 @@ func (q *calendarQueue) locate() {
 // recycled arrays keep their high-water capacity; stale values beyond
 // the emptied length are never read (the live window is [head:len)) and
 // are overwritten or zeroed by pops as the slots are reused.
+//
+//scaffe:coldpath table rebuild is a resize event, amortized out of steady state
 func (q *calendarQueue) reinit(nbuckets int, width Time) {
 	old := q.buckets
 	if cap(old) >= nbuckets {
@@ -367,6 +371,8 @@ func (q *calendarQueue) reinit(nbuckets int, width Time) {
 // width from the current spread so occupancy stays near-uniform. The
 // choice is a deterministic function of queue contents, so replays
 // resize identically.
+//
+//scaffe:coldpath resize runs O(log n) times for n events; amortized out of steady state
 func (q *calendarQueue) resize(nb int) {
 	all := q.spill[:0]
 	for bi, bk := range q.buckets {
@@ -401,6 +407,8 @@ func (q *calendarQueue) resize(nb int) {
 }
 
 // growEvents returns a copy of bk with doubled capacity (cold path).
+//
+//scaffe:coldpath bucket doubling is amortized out of steady state
 func growEvents(bk []event) []event {
 	size := 2 * cap(bk)
 	if size < 8 {

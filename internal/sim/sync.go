@@ -38,6 +38,7 @@ func (c *Completion) addWaiter(w waiter) {
 	if c.waiters == nil {
 		c.waiters = c.w0[:0]
 	}
+	//scaffe:nolint hotpath append lands in the inline w0 backing array in the common case
 	c.waiters = append(c.waiters, w)
 }
 
@@ -54,6 +55,7 @@ func (k *Kernel) GetCompletion() *Completion {
 		k.compPool = k.compPool[:n-1]
 		return c
 	}
+	//scaffe:nolint hotpath pool-miss construction; steady state hits the free list
 	return &Completion{k: k}
 }
 
@@ -62,6 +64,7 @@ func (k *Kernel) GetCompletion() *Completion {
 // (the generation bump dissolves them).
 func (k *Kernel) PutCompletion(c *Completion) {
 	c.reset(k)
+	//scaffe:nolint hotpath free-list release; append reuses capacity freed by the matching Get
 	k.compPool = append(k.compPool, c)
 }
 
@@ -175,6 +178,7 @@ func (c *Completion) OnFire(fn func()) {
 		c.k.At(c.k.now, fn)
 		return
 	}
+	//scaffe:nolint hotpath callback backing is kept by reset(); pooled completions reuse its capacity
 	c.cbs = append(c.cbs, fn)
 }
 
@@ -259,6 +263,7 @@ func (q *Queue) TryPut(v any) bool {
 // Get removes and returns the oldest item, blocking p while empty.
 func (q *Queue) Get(p *Proc) any {
 	for len(q.items) == 0 {
+		//scaffe:nolint hotpath waiting-getter list reuses its high-water backing across iterations
 		q.getters = append(q.getters, p)
 		p.park()
 	}

@@ -105,6 +105,8 @@ func (s *SGD) Step(net *layers.Net, iter int, scale float32) {
 // ensureHistory lazily allocates the momentum buffers in net layer
 // order (the same order as layers.Net.PackParams, so the packed forms
 // below line up with packed parameter vectors).
+//
+//scaffe:coldpath lazy first-use momentum allocation, guarded by s.history != nil
 func (s *SGD) ensureHistory(net *layers.Net) {
 	if s.history != nil {
 		return
@@ -126,6 +128,7 @@ func (s *SGD) PackHistory(net *layers.Net, dst []float32) []float32 {
 	dst = dst[:0]
 	for li := range net.Layers {
 		for _, v := range s.history[li] {
+			//scaffe:nolint hotpath appends into the caller's reused dst[:0] buffer; steady state stays at high-water capacity
 			dst = append(dst, v.Data...)
 		}
 	}

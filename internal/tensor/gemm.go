@@ -173,6 +173,8 @@ var (
 // startGemmWorkers spins up the persistent compute workers. Workers
 // block on the task queue when idle; the pool is sized to the machine
 // since per-call parallelism is capped by GOMAXPROCS anyway.
+//
+//scaffe:coldpath one-time lazy worker-pool spawn behind gemmOnce
 func startGemmWorkers() {
 	n := runtime.NumCPU()
 	if n < 1 {
@@ -198,6 +200,7 @@ func getGemmCall() *gemmCall {
 	}
 	gemmCallMu.Unlock()
 	if g == nil {
+		//scaffe:nolint hotpath pool-miss construction; steady state hits the free list
 		g = new(gemmCall)
 	}
 	return g
@@ -206,6 +209,7 @@ func getGemmCall() *gemmCall {
 func putGemmCall(g *gemmCall) {
 	g.a, g.b, g.c = nil, nil, nil
 	gemmCallMu.Lock()
+	//scaffe:nolint hotpath pool release; append reuses capacity freed by the matching get
 	gemmCallFree = append(gemmCallFree, g)
 	gemmCallMu.Unlock()
 }

@@ -108,16 +108,34 @@ func (c *Cluster) intraNode(at sim.Time, from, to DeviceID, bytes int64, mode Tr
 	}
 }
 
+// reserveWirePath books duration d on the HCA pair plus whichever PCIe
+// endpoints the device-resident sides cross. The four explicit cases
+// (instead of appending into a links slice) keep the variadic argument
+// slices stack-allocated: Transfer sits on the propagated hotpath of
+// every send, so building the path must not touch the heap.
+func reserveWirePath(at sim.Time, d sim.Duration, src, dst *Node, from, to DeviceID) (start, end sim.Time) {
+	switch {
+	case !from.IsHost() && !to.IsHost():
+		return reserveAll(at, d, src.HCA.Out, dst.HCA.In, src.PCIe[from.Local].Out, dst.PCIe[to.Local].In)
+	case !from.IsHost():
+		return reserveAll(at, d, src.HCA.Out, dst.HCA.In, src.PCIe[from.Local].Out)
+	case !to.IsHost():
+		return reserveAll(at, d, src.HCA.Out, dst.HCA.In, dst.PCIe[to.Local].In)
+	default:
+		return reserveAll(at, d, src.HCA.Out, dst.HCA.In)
+	}
+}
+
 // interNode books a transfer between two endpoints on different hosts.
 func (c *Cluster) interNode(at sim.Time, from, to DeviceID, bytes int64, mode TransferMode) (start, end sim.Time) {
 	p := &c.P
 	src, dst := c.Nodes[from.Node], c.Nodes[to.Node]
 	netLat := p.IBLat
-	wire := func(d sim.Duration) sim.Duration { return c.scaleWire(at, from.Node, to.Node, d) }
 
 	switch mode {
 	case ModeHost:
-		return reserveAll(at, wire(netLat+bwTime(bytes, p.IBBW)), src.HCA.Out, dst.HCA.In)
+		d := c.scaleWire(at, from.Node, to.Node, netLat+bwTime(bytes, p.IBBW))
+		return reserveAll(at, d, src.HCA.Out, dst.HCA.In)
 
 	case ModeGDR:
 		// Cut-through: GPU->HCA peer read, wire, HCA->GPU write. The
@@ -125,30 +143,16 @@ func (c *Cluster) interNode(at sim.Time, from, to DeviceID, bytes int64, mode Tr
 		// PCIe hop each side plus the wire, minus the GDR setup
 		// saving.
 		bw := min64f(p.GDRReadBW, p.IBBW)
-		d := wire(p.PCIeLat + netLat + p.PCIeLat - p.GDRLat + bwTime(bytes, bw))
-		links := []*sim.Resource{src.HCA.Out, dst.HCA.In}
-		if !from.IsHost() {
-			links = append(links, src.PCIe[from.Local].Out)
-		}
-		if !to.IsHost() {
-			links = append(links, dst.PCIe[to.Local].In)
-		}
-		return reserveAll(at, d, links...)
+		d := c.scaleWire(at, from.Node, to.Node, p.PCIeLat+netLat+p.PCIeLat-p.GDRLat+bwTime(bytes, bw))
+		return reserveWirePath(at, d, src, dst, from, to)
 
 	case ModePipelined, ModeAuto:
 		// Chunked pipeline through host memory: after a two-chunk fill,
 		// the transfer streams at the bottleneck bandwidth.
 		bw := min64f(p.PCIeBW, min64f(p.IBBW, p.HostMemBW))
 		fill := 2 * bwTime(p.PipelineChunk, bw)
-		d := wire(p.PCIeLat + netLat + p.PCIeLat + fill + bwTime(bytes, bw))
-		links := []*sim.Resource{src.HCA.Out, dst.HCA.In}
-		if !from.IsHost() {
-			links = append(links, src.PCIe[from.Local].Out)
-		}
-		if !to.IsHost() {
-			links = append(links, dst.PCIe[to.Local].In)
-		}
-		return reserveAll(at, d, links...)
+		d := c.scaleWire(at, from.Node, to.Node, p.PCIeLat+netLat+p.PCIeLat+fill+bwTime(bytes, bw))
+		return reserveWirePath(at, d, src, dst, from, to)
 
 	default: // ModeStaged: serialized D2H, host copy, wire, H2D.
 		t := at
@@ -158,7 +162,8 @@ func (c *Cluster) interNode(at sim.Time, from, to DeviceID, bytes int64, mode Tr
 			start, t = s, e
 			t += bwTime(bytes, p.HostMemBW) // copy into the MPI bounce buffer
 		}
-		ws, we := reserveAll(t, wire(netLat+bwTime(bytes, p.IBBW)), src.HCA.Out, dst.HCA.In)
+		wd := c.scaleWire(at, from.Node, to.Node, netLat+bwTime(bytes, p.IBBW))
+		ws, we := reserveAll(t, wd, src.HCA.Out, dst.HCA.In)
 		if from.IsHost() {
 			start = ws
 		}

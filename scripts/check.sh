@@ -23,6 +23,17 @@ echo "== scaffe-lint =="
 # race-instrumented test phase. See internal/lint and DESIGN.md §10.
 go run ./cmd/scaffe-lint ./...
 
+echo "== scaffe-lint -escape =="
+# The compiler-verified escape gate (DESIGN.md §15): go build
+# -gcflags=-m=1 over the propagated-hotpath packages, diffed against
+# the checked-in lint.baseline. A new heap escape in a hot function —
+# or a stale baseline entry — fails here, with the annotated root
+# named; regenerate the file with
+#   go run ./cmd/scaffe-lint -escape -write-baseline
+# after auditing the diff. Unrecognized compiler output fails loudly
+# rather than silently disabling the gate.
+go run ./cmd/scaffe-lint -escape ./...
+
 echo "== go build =="
 go build ./...
 
