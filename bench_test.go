@@ -65,6 +65,9 @@ func BenchmarkExtSDC(b *testing.B) {
 func BenchmarkExtElastic(b *testing.B) {
 	runExperiment(b, "elastic", experiments.Options{Iterations: 24})
 }
+func BenchmarkExtChaos(b *testing.B) {
+	runExperiment(b, "chaos", experiments.Options{Iterations: 16})
+}
 
 // BenchmarkReduce256MB160GPUs measures the headline reduction point
 // (256 MB over 160 GPUs) per algorithm, reporting the virtual latency.

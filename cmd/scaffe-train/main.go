@@ -10,10 +10,19 @@
 //	scaffe-train -model cifar10-quick -gpus 4 -real -iters 50
 //	scaffe-train -model cifar10-quick -gpus 8 -design scob -faults configs/faults_demo.txt -summary
 //	scaffe-train -model tiny -gpus 4 -real -integrity recover -faults sdc.txt
+//	scaffe-train -chaos configs/chaos_demo.txt
+//	scaffe-train -chaos-seed 7
 //
 // Exit codes: 0 success, 1 runtime failure, 2 invalid configuration,
 // 3 unrecovered failure (every rank lost to injected faults),
 // 4 corruption detected while -integrity detect (observe-only) was set.
+//
+// The -chaos / -chaos-seed modes run the seeded chaos harness
+// (internal/chaos) instead of a single training run: the spec's
+// schedule is generated, executed, and machine-verified, and one
+// greppable invariant summary line is printed. Exit 0 when every
+// invariant holds (a legitimately unrecovered run still passes),
+// 1 on any violation, 2 on a bad spec.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"strings"
 
 	"scaffe"
+	"scaffe/internal/chaos"
 	"scaffe/internal/proto"
 )
 
@@ -57,7 +67,14 @@ func main() {
 	faultsFile := flag.String("faults", "", "inject faults from a schedule file (one event per line, e.g. `100ms crash rank=3`)")
 	integrity := flag.String("integrity", "off", "silent-corruption plane: off, detect (observe only; exit 4 on corruption), recover (retransmit + micro-rollback)")
 	simParallel := flag.Int("sim-parallel", -1, "simulation event-kernel workers: 0 = sequential, N >= 2 = parallel lookahead with N workers, default = auto (one per host core); results are bit-identical either way")
+	chaosFile := flag.String("chaos", "", "run the seeded chaos harness from a spec file (see configs/chaos_demo.txt) instead of a training run; prints one invariant summary line")
+	chaosSeed := flag.Int64("chaos-seed", 0, "run the chaos harness on the default spec with this seed (shorthand for a -chaos file setting only seed)")
 	flag.Parse()
+
+	if *chaosFile != "" || *chaosSeed != 0 {
+		runChaos(*chaosFile, *chaosSeed)
+		return
+	}
 
 	var cfg scaffe.Config
 	if *solverFile != "" {
@@ -273,6 +290,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scaffe-train: corruption detected (observe-only mode)")
 		os.Exit(exitCorruption)
 	}
+}
+
+// runChaos executes one seeded chaos spec through the harness's
+// verifier and prints the per-run invariant summary line. A run that
+// terminates unrecovered is a pass — the invariant is
+// finished-or-unrecovered inside the virtual-time ceiling, counters
+// consistent with the schedule; only a wedge or a counter mismatch
+// fails.
+func runChaos(file string, seed int64) {
+	var spec chaos.Spec
+	if file != "" {
+		text, err := os.ReadFile(file)
+		if err != nil {
+			fatalConfig(err)
+		}
+		spec, err = chaos.ParseSpec(string(text))
+		if err != nil {
+			fatalConfig(err)
+		}
+		if seed != 0 {
+			spec.Seed = seed
+		}
+	} else {
+		spec = chaos.Default(seed)
+	}
+	r, err := chaos.Verify(spec)
+	if r != nil {
+		fmt.Println(r.Summary())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaffe-train: chaos invariant violated:", err)
+		os.Exit(exitFailure)
+	}
+	fmt.Printf("invariants: pass (outcome=%s, %d scheduled events)\n", r.Outcome, len(r.Schedule))
 }
 
 func fatal(err error) {

@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/core"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec(`
+# comment
+seed = 42
+ranks = 4
+iters = 12
+events = 3
+mode = real
+design = scob
+reduce = rabenseifner
+weight.drop = 5   # trailing comment
+weight.hang = 0
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || s.Ranks != 4 || s.Iterations != 12 || s.Events != 3 {
+		t.Errorf("numeric fields wrong: %+v", s)
+	}
+	if !s.Real || s.Design != core.SCOB || s.Reduce != coll.Rabenseifner {
+		t.Errorf("mode/design/reduce wrong: %+v", s)
+	}
+	w := DefaultWeights()
+	w.Drop, w.Hang = 5, 0
+	if s.Weights != w {
+		t.Errorf("weights = %+v, want %+v", s.Weights, w)
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec("seed = 9\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weights != (Weights{}) {
+		t.Errorf("untouched weights should stay zero (withDefaults fills them): %+v", s.Weights)
+	}
+	d := s.withDefaults()
+	if d.Ranks != 8 || d.Iterations != 8 || d.Events != 6 || d.Weights != DefaultWeights() {
+		t.Errorf("withDefaults = %+v", d)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for _, tc := range []struct{ text, want string }{
+		{"ranks = 8\n", "must set seed"},
+		{"seed = 1\nbogus = 2\n", "unknown key"},
+		{"seed = 1\nranks = 0\n", "must be positive"},
+		{"seed = 1\nmode = sideways\n", "want timing or real"},
+		{"seed = 1\ndesign = mp\n", "unknown design"},
+		{"seed = 1\nreduce = ring\n", "unknown reducer"},
+		{"seed = 1\nweight.sdc = 1\n", "unknown weight family"},
+		{"seed = 1\nweight.drop = -1\n", "non-negative"},
+		{"seed = 1\njust words\n", "want key = value"},
+		{"seed = 1\nweight.crash=0\nweight.hang=0\nweight.straggle=0\nweight.drop=0\nweight.dup=0\nweight.reorder=0\nweight.delay=0\nweight.partition=0\n", "every weight is zero"},
+	} {
+		if _, err := ParseSpec(tc.text); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSpec(%q) err = %v, want containing %q", tc.text, err, tc.want)
+		}
+	}
+}
+
+// TestChaosSmoke is scripts/check.sh's race-gated chaos drill: 25
+// seeded specs spanning the reducer families, each verified against
+// the termination and counter invariants. The script runs it at
+// GOMAXPROCS 1, 4, and 16 under the race detector; the full 200-spec
+// gate is TestChaosGate.
+func TestChaosSmoke(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		r, err := Verify(gateSpec(seed))
+		if err != nil {
+			if r != nil {
+				t.Fatalf("spec failed: %v\n%s", err, r.Summary())
+			}
+			t.Fatalf("spec seed=%d failed: %v", seed, err)
+		}
+	}
+}

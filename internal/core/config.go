@@ -205,6 +205,12 @@ type Config struct {
 	// FaultTimeout overrides the failure-detection deadline quantum
 	// (default fault.DefaultTimeout).
 	FaultTimeout sim.Duration
+	// MaxVirtualTime, when positive, aborts the run if virtual time
+	// reaches this ceiling — the chaos harness's no-wedge guarantee: a
+	// run that neither finishes nor dies ErrUnrecovered within the
+	// ceiling is a wedged schedule, surfaced as a kernel deadline
+	// error instead of an infinite loop. Zero runs unbounded.
+	MaxVirtualTime sim.Duration
 
 	// EvictFactor, when >= 1, arms the straggler-aware membership
 	// policy: the root tracks each member's iteration-completion EWMA
@@ -399,6 +405,8 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("core: device memory must be positive, got %d bytes", c.DeviceMemory)
 	case c.FaultTimeout < 0:
 		return fmt.Errorf("core: fault-detection timeout must be positive, got %v", c.FaultTimeout)
+	case c.MaxVirtualTime < 0:
+		return fmt.Errorf("core: virtual-time ceiling must be positive, got %v", c.MaxVirtualTime)
 	case c.BaseLR < 0:
 		return fmt.Errorf("core: base learning rate must be positive, got %g", c.BaseLR)
 	case c.RetransmitBudget < 0:

@@ -169,6 +169,10 @@ func run(cfg Config) (*Result, *runState, error) {
 		st.slowStreak = make([]int, cfg.GPUs)
 		st.ewmaScratch = make([]float64, 0, cfg.GPUs)
 		cluster.SetLinkFault(pl.LinkFactor)
+		pl.SetRoot(st.rootRank())
+	}
+	if cfg.MaxVirtualTime > 0 {
+		k.SetDeadline(sim.Time(cfg.MaxVirtualTime))
 	}
 	// Conservative parallel lookahead (DESIGN.md §13): fault-free MPI
 	// data-parallel runs may shard same-instant per-rank segments across

@@ -200,6 +200,13 @@ func (st *runState) tryCatchup(r *mpi.Rank) (ok bool) {
 	root := st.isRoot(r)
 	if root {
 		for _, id := range st.lastAdmitted {
+			// A grow round can hand the root role to an admitted rank
+			// (rank 0 rejoining moves the root back to it); it owes no
+			// ack to itself, and waiting for one would deadlock the
+			// whole catch-up.
+			if id == r.ID {
+				continue
+			}
 			r.Wait(r.IjoinAckRecv(st.comm, st.comm.GroupRank(id), tagJoinAck, gpu.NewBuffer(8)))
 		}
 		if w.real() {
@@ -375,7 +382,12 @@ func (st *runState) rebuild() int {
 		return st.rebuildMicro()
 	}
 
-	alive := pl.AliveRanks()
+	// Membership is the ACTIVE set — alive and still training. A rank
+	// that already finished every iteration departed the loop; wiring
+	// it into the new communicator would wedge every collective on a
+	// member that never posts again (a late-run revocation races the
+	// finishers). Its solver state stays untouched.
+	alive := pl.ActiveRanks()
 	admitted := pl.Admitted()
 	grew := len(admitted) > 0
 
@@ -397,6 +409,9 @@ func (st *runState) rebuild() int {
 		opts = coll.DefaultOptions()
 	}
 	st.red = coll.NewReducer(st.comm, cfg.Reduce, opts)
+	// The root can move when a shrink removes the old one; the quorum
+	// rule must track it.
+	pl.SetRoot(st.rootRank())
 
 	// Re-shard: the global batch redistributes over the survivors.
 	newLocal := cfg.localBatch(len(alive))

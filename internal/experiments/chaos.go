@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"scaffe/internal/coll"
+	"scaffe/internal/core"
+	"scaffe/internal/data"
+	"scaffe/internal/fault"
+	"scaffe/internal/layers"
+	"scaffe/internal/models"
+	"scaffe/internal/sim"
+)
+
+// Chaos sweeps partition rate against heal time for the
+// partition-tolerant membership extension. Each scenario cuts the
+// 8-rank world into a root-holding majority {0..3} and a minority
+// {4..7} one or two times per run, with the heal window on either side
+// of the loss-escalation horizon (the deadline ladder's escalation
+// point, 47 backoff quanta after the first lost delivery):
+//
+//   - heal < detect: the cut heals before any waiter escalates its
+//     lost traffic, so the revoke commits on a whole, healed world —
+//     a rollback-and-replay recovery with nobody fenced.
+//   - fence + rejoin: the cut outlives the horizon; the quorum rule
+//     fences the minority (root side + >= half the previous world
+//     continues), and the fenced ranks re-enter through the join desk
+//     after heal.
+//
+// Every row is diffed against the fault-free golden: final parameters
+// must be bit-identical — the split-brain guarantee that a healed
+// partition never commits two diverging histories.
+func Chaos(o Options) (*Table, error) {
+	iters := o.iters(24)
+	if iters < 16 {
+		iters = 16
+	}
+	dir, err := os.MkdirTemp("", "scaffe-chaos")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	const quantum = sim.Millisecond
+	mk := func(name string) core.Config {
+		return core.Config{
+			Spec:        models.SpecFromNet(models.BuildTinyNet(1, 1)),
+			RealNet:     models.BuildTinyNet,
+			Dataset:     data.NewSynthetic("tiny", layers.Shape{C: 3, H: 8, W: 8}, 4, 1<<16, 11),
+			GPUs:        8,
+			Nodes:       2,
+			GPUsPerNode: 4,
+			GlobalBatch: 32,
+			Iterations:  iters,
+			Design:      core.SCB,
+			Reduce:      coll.Binomial,
+			Source:      core.MemorySource,
+			Seed:        7,
+			BaseLR:      0.05,
+			Momentum:    0.9,
+
+			CaptureFinalParams: true,
+			SnapshotEvery:      iters / 2,
+			SnapshotPrefix:     filepath.Join(dir, name),
+		}
+	}
+
+	golden, err := core.Run(mk("golden"))
+	if err != nil {
+		return nil, err
+	}
+	baseT := golden.TotalTime
+	// The loss-escalation horizon: 1+2+4+8+16+16 = 47 quanta from the
+	// first lost delivery to the wire revoke.
+	horizon := 47 * quantum
+
+	t := &Table{
+		ID: "chaos",
+		Title: fmt.Sprintf("Partition rate vs heal time: split-brain fencing and rejoin (tiny net, 8 GPUs, %d iterations)",
+			iters),
+		Columns: []string{"partitions", "heal window", "fenced", "joins",
+			"cut drops", "wire revokes", "time", "vs golden", "final params"},
+	}
+
+	groups := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	heals := []struct {
+		name   string
+		window sim.Duration
+	}{
+		{"heal < detect", horizon / 2},
+		{"fence + rejoin", horizon + sim.Duration(float64(baseT)*0.2)},
+	}
+	for _, rate := range []int{1, 2} {
+		for _, h := range heals {
+			var sched fault.Schedule
+			at := sim.Time(float64(baseT) * 0.35)
+			for i := 0; i < rate; i++ {
+				sched = append(sched, fault.Event{
+					At: at, Kind: fault.Partition, Groups: groups, For: h.window,
+				})
+				// Serialize the windows: the next cut opens after the
+				// previous one has healed and its recovery settled.
+				at += sim.Time(h.window) + sim.Time(2*horizon)
+			}
+			cfg := mk(fmt.Sprintf("r%d-%s", rate, h.name[:4]))
+			cfg.Faults = sched
+			cfg.FaultTimeout = quantum
+			cfg.MaxVirtualTime = baseT*60 + 8*sim.Time(h.window)
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("chaos experiment (%d cuts, %s): %w", rate, h.name, err)
+			}
+			rep := res.Fault
+			match := "bit-identical"
+			if !reflect.DeepEqual(res.FinalParams, golden.FinalParams) {
+				match = "DIVERGED"
+			}
+			delta := 100 * (float64(res.TotalTime) - float64(baseT)) / float64(baseT)
+			t.AddRow(
+				fmt.Sprintf("%d", rate),
+				h.name,
+				fmt.Sprintf("%d", rep.Fenced),
+				fmt.Sprintf("%d", len(rep.Joins)),
+				fmt.Sprintf("%d", rep.PartitionDrops),
+				fmt.Sprintf("%d", rep.WireRevokes),
+				res.TotalTime.String(),
+				fmt.Sprintf("%+.1f%%", delta),
+				match)
+			if match == "DIVERGED" {
+				return t, fmt.Errorf("chaos experiment (%d cuts, %s): healed partition diverged from the fault-free golden", rate, h.name)
+			}
+		}
+	}
+	t.Note("A partition drops every delivery crossing the cut while the window is open. Lost traffic escalates through the deadline ladder (47 quanta) into a wire revoke; at the revoke, the quorum rule lets only the side holding the root and at least half the previous world continue — with the window still open, the minority is fenced (recovery records of kind Partitioned) and re-enters via the join desk after heal; with the window already healed, the revoke commits on the whole world and nobody is fenced.")
+	t.Note("\"final params\" diffs the run's trained parameters against the fault-free golden. Bit-identity across every row is the split-brain guarantee: rollback to the latest snapshot plus deterministic re-shard and replay make the healed world's history equal to the unpartitioned one, whichever side survived the cut.")
+	return t, nil
+}

@@ -117,6 +117,7 @@ func All() []Runner {
 		{"faults", "Extension: MTBF × snapshot-interval sweep of elastic fault tolerance", Faults},
 		{"sdc", "Extension: silent-data-corruption detection and recovery drill", SDC},
 		{"elastic", "Extension: churn × snapshot-interval sweep of elastic scale-up vs static shrink", Elastic},
+		{"chaos", "Extension: partition-rate × heal-time sweep of split-brain fencing and rejoin", Chaos},
 	}
 }
 

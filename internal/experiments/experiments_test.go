@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "figure8", "figure9", "figure10", "figure11",
 		"figure12", "figure13", "table2", "scobr", "costmodel",
 		"weakscaling", "threelevel", "allreduce", "skew", "bucketing", "scobrf", "mpdp", "accuracy",
-		"faults", "sdc", "elastic"}
+		"faults", "sdc", "elastic", "chaos"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

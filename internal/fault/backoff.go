@@ -1,0 +1,50 @@
+package fault
+
+import "scaffe/internal/sim"
+
+// Backoff is the repository's single capped-exponential deadline
+// ladder. Both consumers of deadline retries — the MPI layer's
+// deadline-sliced waits (waitFT) and the join desk's admission retries
+// (AwaitAdmission) — step the same ladder, so detection latency and
+// admission latency are governed by one tested policy instead of two
+// drifting copies.
+//
+// The ladder is jitterless on purpose: randomized jitter would break
+// the simulator's bit-for-bit determinism, and the discrete-event
+// kernel has no thundering herd to spread out. Step(a) is
+// Quantum<<min(a, MaxShift), so transient slowness is ridden out with
+// geometrically growing patience that plateaus at Ceiling().
+type Backoff struct {
+	// Quantum is the base deadline of attempt 0.
+	Quantum sim.Duration
+	// MaxShift caps the exponent: no deadline exceeds Quantum<<MaxShift.
+	MaxShift int
+}
+
+// Step returns the deadline for the given retry attempt (attempt 0 is
+// the first wait). Negative attempts clamp to 0.
+func (b Backoff) Step(attempt int) sim.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > b.MaxShift {
+		attempt = b.MaxShift
+	}
+	return b.Quantum << attempt
+}
+
+// Ceiling returns the plateau deadline, Quantum<<MaxShift — the
+// longest single wait the ladder ever issues, and the cool-down the
+// join desk sleeps after an exhausted retry budget.
+func (b Backoff) Ceiling() sim.Duration { return b.Step(b.MaxShift) }
+
+// Elapsed returns the total virtual time a waiter has ridden out after
+// `attempts` consecutive expired deadlines — the horizon the wire
+// plane's loss escalation is calibrated against.
+func (b Backoff) Elapsed(attempts int) sim.Duration {
+	var total sim.Duration
+	for a := 0; a < attempts; a++ {
+		total += b.Step(a)
+	}
+	return total
+}

@@ -104,7 +104,7 @@ func runJoinDesk(t *testing.T, retries int, open sim.Time) (*Report, []int) {
 				if p.Now() > open && pl.JoinPending() && !pl.Revoked() {
 					pl.BeginGrow()
 				}
-				if pl.Revoked() || pl.OnTimeout(i, p.Now()) {
+				if pl.Revoked() || pl.OnTimeout(i, 0, p.Now()) {
 					pl.EnterRecovery(i, p)
 				}
 			}
@@ -171,7 +171,7 @@ func TestJoinAbandonedWhenNobodyLeft(t *testing.T) {
 	}, ap)
 	k.Spawn("rank0", func(p *sim.Proc) {
 		p.Sleep(2 * pl.Timeout(0))
-		if pl.OnTimeout(0, p.Now()) {
+		if pl.OnTimeout(0, 0, p.Now()) {
 			pl.EnterRecovery(0, p)
 		}
 		// Survivor finishes training long before anyone could admit

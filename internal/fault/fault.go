@@ -62,6 +62,35 @@ const (
 	// than a failure. The straggler policy issues the same eviction
 	// autonomously.
 	Evict
+	// Drop silently discards the next N payload landings on the
+	// directed link Src->Dst at or after At. The payload is gone for
+	// good — the waiting side rides its deadline ladder and the plane
+	// escalates through the revoke path (loss-aware timeout), never a
+	// hang.
+	Drop
+	// Dup lands the next N payloads on Src->Dst twice: the duplicate
+	// re-lands at the same instant and must be absorbed by the
+	// generation-guarded completion machinery (idempotent delivery).
+	Dup
+	// Reorder swaps each of the next N landings on Src->Dst with the
+	// landing that follows it on the same link; a swap with no
+	// follow-up flushes after a failsafe window, so the link can never
+	// wedge.
+	Reorder
+	// Delay holds the next N landings on Src->Dst for a window of For
+	// before landing them late.
+	Delay
+	// Partition cuts the fabric along Groups for a window of For:
+	// traffic between listed ranks in different groups is silently
+	// discarded in both directions until the window heals. A revocation
+	// during the window applies the quorum rule — only the side holding
+	// the root and at least half the previous world continues; the
+	// minority is fenced and rejoins through the join desk after heal.
+	Partition
+	// Partitioned is not schedulable: it is the recovery-record kind
+	// stamped on ranks fenced by the quorum rule during an active
+	// partition window.
+	Partitioned
 )
 
 func (k Kind) String() string {
@@ -88,6 +117,18 @@ func (k Kind) String() string {
 		return "join"
 	case Evict:
 		return "evict"
+	case Drop:
+		return "drop"
+	case Dup:
+		return "dup"
+	case Reorder:
+		return "reorder"
+	case Delay:
+		return "delay"
+	case Partition:
+		return "partition"
+	case Partitioned:
+		return "partitioned"
 	}
 	return "unknown"
 }
@@ -108,11 +149,17 @@ type Event struct {
 	// For is the window length (LinkDegrade, ReaderStall,
 	// SnapshotFail).
 	For sim.Duration
-	// Src and Dst are the directed link endpoints (CorruptWire).
+	// Src and Dst are the directed link endpoints (CorruptWire, Drop,
+	// Dup, Reorder, Delay).
 	Src, Dst int
 	// N selects the N-th checksummed transfer on the link at or after
-	// At (CorruptWire; 1 = the next one).
+	// At (CorruptWire; 1 = the next one), or the number of landings a
+	// wire perturbation consumes (Drop, Dup, Reorder, Delay).
 	N int
+	// Groups partitions the listed ranks into sides (Partition): all
+	// traffic between ranks of different groups is cut for the window.
+	// Ranks not listed in any group are unaffected.
+	Groups [][]int
 	// Word and Bit address the flipped bit inside the rank's packed
 	// parameter vector (BitFlip); Word is taken modulo the parameter
 	// count.
@@ -152,6 +199,26 @@ func (s Schedule) Validate(ranks, nodes int) error {
 			if ev.N < 1 {
 				return fmt.Errorf("fault: event %d: corrupt-wire needs n >= 1, got %d", i, ev.N)
 			}
+		case Drop, Dup, Reorder, Delay:
+			if ev.Src < 0 || ev.Src >= ranks {
+				return fmt.Errorf("fault: event %d: src %d out of range [0,%d)", i, ev.Src, ranks)
+			}
+			if ev.Dst < 0 || ev.Dst >= ranks {
+				return fmt.Errorf("fault: event %d: dst %d out of range [0,%d)", i, ev.Dst, ranks)
+			}
+			if ev.Src == ev.Dst {
+				return fmt.Errorf("fault: event %d: %s needs src != dst, got %d", i, ev.Kind, ev.Src)
+			}
+			if ev.N < 1 {
+				return fmt.Errorf("fault: event %d: %s needs n >= 1, got %d", i, ev.Kind, ev.N)
+			}
+			if ev.Kind == Delay && ev.For <= 0 {
+				return fmt.Errorf("fault: event %d: delay needs a positive window (for=...)", i)
+			}
+		case Partition:
+			if err := validatePartition(i, ev, ranks); err != nil {
+				return err
+			}
 		case SnapshotFail:
 		default:
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(ev.Kind))
@@ -177,7 +244,86 @@ func (s Schedule) Validate(ranks, nodes int) error {
 			}
 		}
 	}
+	return s.validatePartitionOverlap()
+}
+
+// validatePartition checks one Partition event's group structure.
+func validatePartition(i int, ev Event, ranks int) error {
+	if len(ev.Groups) < 2 {
+		return fmt.Errorf("fault: event %d: partition needs at least 2 groups (groups=0,1|2,3)", i)
+	}
+	if ev.For <= 0 {
+		return fmt.Errorf("fault: event %d: partition needs a positive window (for=...)", i)
+	}
+	seen := make(map[int]bool)
+	for gi, g := range ev.Groups {
+		if len(g) == 0 {
+			return fmt.Errorf("fault: event %d: partition group %d is empty", i, gi)
+		}
+		for _, r := range g {
+			if r < 0 || r >= ranks {
+				return fmt.Errorf("fault: event %d: partition rank %d out of range [0,%d)", i, r, ranks)
+			}
+			if seen[r] {
+				return fmt.Errorf("fault: event %d: rank %d listed in two partition groups", i, r)
+			}
+			seen[r] = true
+		}
+	}
 	return nil
+}
+
+// validatePartitionOverlap rejects two Partition events whose windows
+// overlap in time and cut at least one common link: the fate of a
+// landing on that link during the overlap would depend on schedule
+// order, which the file layout makes too easy to get wrong silently.
+func (s Schedule) validatePartitionOverlap() error {
+	var parts []int
+	for i, ev := range s {
+		if ev.Kind == Partition {
+			parts = append(parts, i)
+		}
+	}
+	for a := 0; a < len(parts); a++ {
+		for b := a + 1; b < len(parts); b++ {
+			pa, pb := s[parts[a]], s[parts[b]]
+			if pa.At >= pb.At+sim.Time(pb.For) || pb.At >= pa.At+sim.Time(pa.For) {
+				continue // disjoint windows
+			}
+			if link, shared := sharedCutLink(pa.Groups, pb.Groups); shared {
+				return fmt.Errorf("fault: events %d and %d: overlapping partition windows both cut link %d<->%d; stagger the windows or merge the groups",
+					parts[a], parts[b], link[0], link[1])
+			}
+		}
+	}
+	return nil
+}
+
+// sharedCutLink reports a rank pair cut by both partitions, if any.
+func sharedCutLink(ga, gb [][]int) ([2]int, bool) {
+	sideOf := func(groups [][]int) map[int]int {
+		m := make(map[int]int)
+		for gi, g := range groups {
+			for _, r := range g {
+				m[r] = gi
+			}
+		}
+		return m
+	}
+	sa, sb := sideOf(ga), sideOf(gb)
+	for ra, ga := range sa {
+		for rb, ga2 := range sa {
+			if ra >= rb || ga == ga2 {
+				continue // not a cut pair of the first partition
+			}
+			gba, okA := sb[ra]
+			gbb, okB := sb[rb]
+			if okA && okB && gba != gbb {
+				return [2]int{ra, rb}, true
+			}
+		}
+	}
+	return [2]int{}, false
 }
 
 // ParseSchedule parses the textual schedule format, one event per
@@ -195,6 +341,11 @@ func (s Schedule) Validate(ranks, nodes int) error {
 //	70ms  corrupt-wire src=3 dst=0 n=2
 //	150ms evict rank=2
 //	250ms join rank=3
+//	30ms  drop src=1 dst=0 n=2
+//	40ms  dup src=2 dst=0 n=1
+//	55ms  reorder src=3 dst=0 n=1
+//	65ms  delay src=0 dst=2 n=1 for=5ms
+//	110ms partition groups=0,1|2,3 for=40ms
 //
 // Times and windows accept s/ms/us/ns suffixes (a bare number is
 // nanoseconds). Two rank-targeted events landing on the same rank at
@@ -241,6 +392,16 @@ func ParseSchedule(text string) (Schedule, error) {
 			ev.Kind = Join
 		case "evict":
 			ev.Kind = Evict
+		case "drop":
+			ev.Kind = Drop
+		case "dup":
+			ev.Kind = Dup
+		case "reorder":
+			ev.Kind = Reorder
+		case "delay":
+			ev.Kind = Delay
+		case "partition":
+			ev.Kind = Partition
 		default:
 			return nil, fmt.Errorf("fault: line %d: unknown event kind %q", ln+1, fields[1])
 		}
@@ -268,6 +429,8 @@ func ParseSchedule(text string) (Schedule, error) {
 				ev.Word, err = strconv.Atoi(val)
 			case "bit":
 				ev.Bit, err = strconv.Atoi(val)
+			case "groups":
+				ev.Groups, err = parseGroups(val)
 			default:
 				return nil, fmt.Errorf("fault: line %d: unknown key %q", ln+1, key)
 			}
@@ -281,8 +444,15 @@ func ParseSchedule(text string) (Schedule, error) {
 		if ev.Kind == LinkDegrade && ev.Node < 0 {
 			return nil, fmt.Errorf("fault: line %d: degrade needs node=N", ln+1)
 		}
-		if ev.Kind == CorruptWire && (ev.Src < 0 || ev.Dst < 0) {
-			return nil, fmt.Errorf("fault: line %d: corrupt-wire needs src=A dst=B", ln+1)
+		switch ev.Kind {
+		case CorruptWire, Drop, Dup, Reorder, Delay:
+			if ev.Src < 0 || ev.Dst < 0 {
+				return nil, fmt.Errorf("fault: line %d: %s needs src=A dst=B", ln+1, ev.Kind)
+			}
+		case Partition:
+			if len(ev.Groups) == 0 {
+				return nil, fmt.Errorf("fault: line %d: partition needs groups=0,1|2,3", ln+1)
+			}
 		}
 		s = append(s, ev)
 		lines = append(lines, ln+1)
@@ -299,6 +469,28 @@ func ParseSchedule(text string) (Schedule, error) {
 		seen[key] = lines[i]
 	}
 	return s, nil
+}
+
+// parseGroups parses the partition side syntax "0,1|2,3": ranks
+// comma-separated within a side, sides pipe-separated.
+func parseGroups(val string) ([][]int, error) {
+	var groups [][]int
+	for _, side := range strings.Split(val, "|") {
+		var g []int
+		for _, tok := range strings.Split(side, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			r, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad rank %q", tok)
+			}
+			g = append(g, r)
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
 }
 
 func needsRank(k Kind) bool {

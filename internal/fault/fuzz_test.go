@@ -20,6 +20,19 @@ func FuzzParseSchedule(f *testing.F) {
 		"70ms corrupt-wire src=3 dst=0 n=2",
 		"150ms evict rank=2",
 		"250ms join rank=3",
+		"30ms drop src=1 dst=0 n=2",
+		"40ms dup src=2 dst=0 n=1",
+		"55ms reorder src=3 dst=0 n=1",
+		"65ms delay src=0 dst=2 n=1 for=5ms",
+		"110ms partition groups=0,1|2,3 for=40ms",
+		"110ms partition groups=0,1|2,3 for=40ms\n120ms partition groups=0|1 for=40ms",
+		"1ms partition for=2ms",
+		"1ms partition groups=0,1 for=2ms",
+		"1ms partition groups=0,1|1,2 for=2ms",
+		"1ms partition groups=|0 for=2ms",
+		"1ms partition groups=0,x|1 for=2ms",
+		"1ms drop dst=0 n=1",
+		"1ms delay src=0 dst=1 n=1",
 		"5ms evict rank=2\n10ms recover rank=2\n20ms join rank=2",
 		"5ms join rank=2\n5ms evict rank=2",
 		"1ms join",

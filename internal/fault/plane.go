@@ -18,6 +18,14 @@ const DefaultTimeout = 10 * sim.Millisecond
 // flaps) is ridden out with a bounded number of retries per window.
 const maxBackoffShift = 4
 
+// escalateAttempts is the loss-escalation threshold: a wait that has
+// ridden the whole backoff ladder past its plateau while the wire
+// plane has permanently discarded traffic is not slow — its payload is
+// gone, and the plane revokes the communicator instead of retrying
+// forever. Two plateau rides past the cap keeps false escalations out
+// of merely-degraded runs.
+const escalateAttempts = maxBackoffShift + 2
+
 // DefaultJoinRetries is the admission-wait budget of one announce: a
 // joiner that rides out this many capped-backoff deadlines without
 // being admitted withdraws, cools down, and re-announces (it is
@@ -122,6 +130,19 @@ type Report struct {
 	// Evictions counts ranks removed through the proactive evict path
 	// (scripted Evict events plus the straggler policy).
 	Evictions int
+	// Drops, Dups, Reorders, and Delays count wire perturbations that
+	// consumed a landing; PartitionDrops counts landings blackholed by
+	// an active partition window.
+	Drops, Dups, Reorders, Delays, PartitionDrops int
+	// WireRevokes counts loss-aware escalations: deadline ladders
+	// exhausted against permanently discarded traffic.
+	WireRevokes int
+	// Fenced counts ranks parked by the quorum rule during a partition
+	// (they rejoin through the join desk after heal).
+	Fenced int
+	// StaleDissolved counts deliveries dissolved by epoch fencing:
+	// traffic stamped with a pre-shrink/grow communicator epoch.
+	StaleDissolved int
 	// Survivors is the final world size (shrinks and grows included).
 	Survivors int
 	// Recoveries lists every shrink, in order.
@@ -134,8 +155,13 @@ type Report struct {
 }
 
 func (r *Report) String() string {
-	return fmt.Sprintf("injected=%d crashes=%d hangs=%d evictions=%d recoveries=%d joins=%d retries=%d snapshot-failures=%d survivors=%d",
+	s := fmt.Sprintf("injected=%d crashes=%d hangs=%d evictions=%d recoveries=%d joins=%d retries=%d snapshot-failures=%d survivors=%d",
 		r.Injected, r.Crashes, r.Hangs, r.Evictions, len(r.Recoveries), len(r.Joins), r.Retries, r.SnapshotFailures, r.Survivors)
+	if r.Drops+r.Dups+r.Reorders+r.Delays+r.PartitionDrops+r.Fenced+r.StaleDissolved > 0 {
+		s += fmt.Sprintf(" drops=%d dups=%d reorders=%d delays=%d partition-drops=%d wire-revokes=%d fenced=%d stale-dissolved=%d",
+			r.Drops, r.Dups, r.Reorders, r.Delays, r.PartitionDrops, r.WireRevokes, r.Fenced, r.StaleDissolved)
+	}
+	return s
 }
 
 // recoveryRound is one leaderless all-survivor rendezvous: every
@@ -207,6 +233,21 @@ type Plane struct {
 	snapFailOnce  bool
 	wires         []*wireCorruption
 
+	// The wire-perturbation plane. wireOn flips once the first wire
+	// rule or partition window arms, gating the per-landing fate check
+	// behind a single branch; trafficLost records that at least one
+	// payload has been permanently discarded since the last committed
+	// recovery round, arming the loss-aware timeout escalation.
+	// rootRank is the engine's parameter root — the anchor of the
+	// partition quorum rule.
+	wireRules   []*wireRule
+	parts       []*partitionWindow
+	wireOn      bool
+	trafficLost bool
+	rootRank    int
+
+	backoff Backoff
+
 	report Report
 }
 
@@ -230,8 +271,14 @@ func NewPlane(k *sim.Kernel, ranks int, quantum sim.Duration) *Plane {
 		rejoinQueued: make([]bool, ranks),
 		joinRec:      make([]JoinRecord, ranks),
 		joinBudget:   DefaultJoinRetries,
+		backoff:      Backoff{Quantum: quantum, MaxShift: maxBackoffShift},
 	}
 }
+
+// SetRoot tells the plane which rank anchors the partition quorum
+// rule (the engine's parameter root). Re-set after every rebuild —
+// the root can move when the world shrinks.
+func (pl *Plane) SetRoot(rank int) { pl.rootRank = rank }
 
 // SetJoinRetries overrides the per-announce admission-wait budget
 // (zero or negative keeps DefaultJoinRetries).
@@ -332,6 +379,14 @@ func (pl *Plane) apply(ev Event) {
 		pl.report.Injected++
 		pl.report.WireCorruptions++
 		pl.wires = append(pl.wires, &wireCorruption{src: ev.Src, dst: ev.Dst, countdown: ev.N})
+	case Drop, Dup, Reorder, Delay:
+		pl.report.Injected++
+		pl.wireRules = append(pl.wireRules, &wireRule{kind: ev.Kind, src: ev.Src, dst: ev.Dst, n: ev.N, hold: ev.For, from: now})
+		pl.wireOn = true
+	case Partition:
+		pl.report.Injected++
+		pl.parts = append(pl.parts, &partitionWindow{groups: ev.Groups, from: now, until: now + ev.For})
+		pl.wireOn = true
 	}
 }
 
@@ -365,7 +420,7 @@ func (pl *Plane) evict(rank int) {
 	pl.evicted[rank] = true
 	pl.failRec[rank] = Recovery{Rank: rank, Kind: Evict, FailedAt: now, DetectedAt: now}
 	pl.applier.KillRank(rank, Evict)
-	pl.revoked = true
+	pl.setRevoked(now)
 	if pl.round != nil && pl.round.arrived[rank] {
 		pl.round.arrived[rank] = false
 		pl.round.count--
@@ -460,7 +515,7 @@ func (pl *Plane) AwaitAdmission(rank int, p *sim.Proc) bool {
 			rec.Requeues++
 			pl.report.JoinRequeues++
 			attempt = 0
-			p.Sleep(pl.Timeout(maxBackoffShift))
+			p.Sleep(pl.backoff.Ceiling())
 		}
 	}
 }
@@ -514,17 +569,26 @@ func intsContain(s []int, v int) bool {
 // fault-aware wait observes the revocation at its next deadline and
 // unwinds into the recovery rendezvous; with zero failed ranks the
 // release shrinks nothing and just re-runs the engine's rebuild hook.
-func (pl *Plane) Revoke() { pl.revoked = true }
+func (pl *Plane) Revoke() { pl.setRevoked(pl.k.Now()) }
+
+// setRevoked marks the communicator revoked and, on the un-revoked →
+// revoked transition during an active partition window, schedules the
+// quorum decision into kernel context (it kills ranks, which must not
+// happen from inside one of their own waits).
+func (pl *Plane) setRevoked(now sim.Time) {
+	was := pl.revoked
+	pl.revoked = true
+	if !was {
+		pl.scheduleQuorum(now)
+	}
+}
 
 // Timeout returns the detection deadline for the given retry attempt:
-// the base quantum with capped exponential backoff, so healthy-but-
-// slow operations (stragglers, degraded links) are ridden out with a
-// bounded number of retries.
+// the shared capped-exponential Backoff ladder, so healthy-but-slow
+// operations (stragglers, degraded links) are ridden out with a
+// bounded number of retries. The join desk steps the same ladder.
 func (pl *Plane) Timeout(attempt int) sim.Duration {
-	if attempt > maxBackoffShift {
-		attempt = maxBackoffShift
-	}
-	return pl.quantum << attempt
+	return pl.backoff.Step(attempt)
 }
 
 // Revoked reports whether the communicator is revoked: a failure has
@@ -532,17 +596,21 @@ func (pl *Plane) Timeout(attempt int) sim.Duration {
 func (pl *Plane) Revoked() bool { return pl.revoked }
 
 // OnTimeout is called by a rank whose wait deadline expired without
-// progress. It returns true if the communicator is (now) revoked —
-// the caller must abandon the operation and enter recovery — and
-// false if the stall has no dead rank behind it, in which case the
-// caller retries with backoff.
-func (pl *Plane) OnTimeout(rank int, now sim.Time) bool {
+// progress, carrying the attempt number of the expired deadline. It
+// returns true if the communicator is (now) revoked — the caller must
+// abandon the operation and enter recovery — and false if the stall
+// has no dead rank behind it, in which case the caller retries with
+// backoff. When the wire plane has permanently discarded traffic, a
+// wait that has ridden the ladder past escalateAttempts revokes even
+// with every rank alive: the payload it is waiting for no longer
+// exists, and no amount of patience delivers it.
+func (pl *Plane) OnTimeout(rank, attempt int, now sim.Time) bool {
 	if pl.revoked {
 		return true
 	}
 	for i := range pl.failed {
 		if pl.failed[i] {
-			pl.revoked = true
+			pl.setRevoked(now)
 			// Stamp detection on every pending failure: this one
 			// deadline discovered them all.
 			for j := range pl.failed {
@@ -552,6 +620,11 @@ func (pl *Plane) OnTimeout(rank int, now sim.Time) bool {
 			}
 			return true
 		}
+	}
+	if pl.trafficLost && attempt >= escalateAttempts {
+		pl.report.WireRevokes++
+		pl.setRevoked(now)
+		return true
 	}
 	pl.report.Retries++
 	return false
@@ -611,6 +684,9 @@ func (pl *Plane) checkRelease() {
 	pl.pending = pl.pending[:0]
 	sortInts(pl.admitted)
 	pl.revoked = false
+	// A committed round restores consistency (rollback or rebuild), so
+	// earlier payload loss no longer dooms in-flight waits.
+	pl.trafficLost = false
 	pl.report.Survivors = pl.AliveCount()
 	restart := 0
 	if pl.rebuild != nil {
@@ -717,6 +793,23 @@ func (pl *Plane) AliveRanks() []int {
 	var out []int
 	for i := 0; i < pl.total; i++ {
 		if pl.Alive(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ActiveRanks returns the ranks still training — alive and not
+// departed — in ascending order. This is the membership a recovery
+// rebuild must hand the new communicator: a departed rank is alive
+// (it finished normally, it did not fail) but its training loop has
+// returned, so a collective that includes it waits forever. The
+// rendezvous gathers exactly these ranks (see participants), and the
+// rebuilt world must match.
+func (pl *Plane) ActiveRanks() []int {
+	var out []int
+	for i := 0; i < pl.total; i++ {
+		if pl.Alive(i) && !pl.departed[i] {
 			out = append(out, i)
 		}
 	}

@@ -11,8 +11,11 @@
 //     allocation-free (no composite-literal/make/new allocation, no
 //     append growth, no fmt, no closures, no interface boxing).
 //   - mpi: every non-blocking request must reach a Wait/Test on every
-//     return path, tags must be named constants, and helper-thread
-//     closures must not issue blocking MPI calls.
+//     return path, tags must be named constants, helper-thread
+//     closures must not issue blocking MPI calls, and kernel-context
+//     code (RunEvent hooks, Kernel.At callbacks — where the
+//     delivery-perturbation plane runs) must not construct requests
+//     at all.
 //   - trace: a span opened with Recorder.Begin must be ended on every
 //     return path.
 //   - exclusive: code holding a parallel obligation must route
@@ -127,7 +130,7 @@ func Passes() []*Pass {
 		},
 		{
 			Name: "mpi",
-			Doc:  "requests reach Wait/Test on all paths, tags are named constants, helpers issue no blocking MPI",
+			Doc:  "requests reach Wait/Test on all paths, tags are named constants, helpers issue no blocking MPI, kernel-context hooks (RunEvent, Kernel.At) post no requests",
 			Run:  runMPI,
 		},
 		{

@@ -7,7 +7,7 @@ import (
 	"go/types"
 )
 
-// The mpi pass enforces four pieces of request discipline:
+// The mpi pass enforces five pieces of request discipline:
 //
 //  1. lifecycle — every non-blocking call (Isend, Irecv, Ibcast,
 //     Ireduce, NewDeferredRequest) returns a *Request that must reach a
@@ -24,6 +24,12 @@ import (
 //     communication helper thread; issuing a blocking collective from
 //     one deadlocks the rank the moment the main thread enters the
 //     same collective.
+//  5. kernel context — RunEvent bodies (sim.Runnable hooks, where the
+//     delivery-perturbation plane runs) and closures handed to
+//     Kernel.At execute inside the event kernel, where no rank loop
+//     exists to Wait a request; constructing one there is structurally
+//     a leak, even if the result is stored. A wire-fault hook must
+//     reschedule or re-land traffic, never post new requests.
 
 func runMPI(_ *Program, pkg *Pkg, report func(pos token.Pos, msg string)) {
 	runFlow(pkg, flowSpec{
@@ -48,12 +54,14 @@ func runMPI(_ *Program, pkg *Pkg, report func(pos token.Pos, msg string)) {
 
 	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTagArgs(pkg, n, report)
+				checkHelperThread(pkg, n, report)
+				checkKernelCallback(pkg, n, report)
+			case *ast.FuncDecl:
+				checkRunEvent(pkg, n, report)
 			}
-			checkTagArgs(pkg, call, report)
-			checkHelperThread(pkg, call, report)
 			return true
 		})
 	}
@@ -121,6 +129,62 @@ func isIntLiteral(expr ast.Expr) bool {
 		}
 	}
 	return false
+}
+
+// checkRunEvent flags request construction inside a RunEvent method —
+// the sim.Runnable hook that executes in kernel context, where the
+// delivery-perturbation plane (mpi/wire.go) lives. There is no rank
+// loop in kernel context to Wait the request, so anything posted there
+// is unwaited no matter where the result lands; the hook must confine
+// itself to rescheduling and re-landing the traffic it intercepts.
+// Nested function literals are skipped: a closure built here runs in
+// whatever context it is later invoked from, and the ones handed back
+// to the kernel are covered by checkKernelCallback.
+func checkRunEvent(pkg *Pkg, fn *ast.FuncDecl, report func(pos token.Pos, msg string)) {
+	if fn.Recv == nil || fn.Name.Name != "RunEvent" || fn.Body == nil {
+		return
+	}
+	reportCreators(pkg, fn.Body, report, func(c string) string {
+		return fmt.Sprintf("%s inside a RunEvent kernel hook: kernel context has no rank to Wait the request — a delivery-perturbation hook must reschedule or re-land traffic, never post new requests", c)
+	})
+}
+
+// checkKernelCallback flags request construction inside a function
+// literal handed to sim Kernel.At. The literal fires in kernel context
+// at its scheduled instant (the reorder-stash failsafe in mpi/wire.go
+// is the canonical user), with the same no-one-can-Wait problem as a
+// RunEvent body.
+func checkKernelCallback(pkg *Pkg, call *ast.CallExpr, report func(pos token.Pos, msg string)) {
+	if !funcFrom(calleeFunc(pkg, call), "scaffe/internal/sim", "At") {
+		return
+	}
+	for _, arg := range call.Args {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		reportCreators(pkg, lit.Body, report, func(c string) string {
+			return fmt.Sprintf("%s inside a Kernel.At callback: kernel context has no rank to Wait the request — reschedule the delivery instead of posting new requests", c)
+		})
+	}
+}
+
+// reportCreators reports every request-constructor call lexically
+// inside body, without descending into nested function literals.
+func reportCreators(pkg *Pkg, body *ast.BlockStmt, report func(pos token.Pos, msg string), msg func(creator string) string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if c := requestCreator(pkg, call); c != "" {
+			report(call.Pos(), msg(c))
+		}
+		return true
+	})
 }
 
 // checkHelperThread flags blocking collectives inside a closure passed

@@ -47,7 +47,7 @@ func (r *Rank) waitFT(p *sim.Proc, c *sim.Completion) {
 		panic(Revoked{})
 	}
 	for attempt := 0; !p.WaitTimeout(c, pl.Timeout(attempt)); attempt++ {
-		if pl.OnTimeout(r.ID, r.Now()) {
+		if pl.OnTimeout(r.ID, attempt, r.Now()) {
 			panic(Revoked{})
 		}
 	}
@@ -87,6 +87,7 @@ func (r *Rank) KillAll() {
 // its own id, so stale point-to-point and broadcast state of the
 // revoked comm can never match against it.
 func (w *World) ShrinkComm(alive []int) *Comm {
+	w.bumpEpoch()
 	return w.newComm(append([]int(nil), alive...))
 }
 
@@ -96,6 +97,7 @@ func (w *World) ShrinkComm(alive []int) *Comm {
 // traffic from any earlier epoch, including a member's pre-failure
 // life, can never match against the grown communicator.
 func (w *World) GrowComm(members []int) *Comm {
+	w.bumpEpoch()
 	return w.newComm(append([]int(nil), members...))
 }
 

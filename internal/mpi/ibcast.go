@@ -47,6 +47,10 @@ type bcastOp struct {
 
 	rootSends     int // children edges not yet scheduled from the root
 	rootCompleted bool
+
+	// epoch stamps the membership epoch the op was created in; edges
+	// landing against a later epoch dissolve (see World.bumpEpoch).
+	epoch int
 }
 
 // getBcastOp draws an n-rank operation record from the world free
@@ -123,6 +127,7 @@ func (r *Rank) Ibcast(c *Comm, root int, buf *gpu.Buffer, mode topology.Transfer
 		op = r.W.getBcastOp(c.Size())
 		op.c, op.key, op.root = c, key, root
 		op.bytes, op.mode = buf.Bytes, mode
+		op.epoch = r.W.epoch
 		r.W.bcastOps[key] = op
 	}
 	if op.root != root {
@@ -258,12 +263,21 @@ func (op *bcastOp) markReady(w *World, groupRank int, t sim.Time) {
 }
 
 // bcastEdge is the pooled payload of one parent->child tree transfer's
-// landing event.
+// landing event. w is carried on the edge because a ghost edge can
+// outlive its op record (whose comm reference is cleared on pooling).
 type bcastEdge struct {
+	w             *World
 	op            *bcastOp
 	parent, child int
 	try           int
 	isRootEdge    bool
+	// replay marks an edge already perturbed once (held or stashed);
+	// ghost marks a duplicate landing, which re-copies the payload iff
+	// the op is still live under its key but NEVER commits the edge
+	// (committing twice would corrupt rootSends and re-mark readiness).
+	replay   bool
+	ghost    bool
+	ghostKey bcastKey
 }
 
 //scaffe:hotpath
@@ -295,8 +309,31 @@ func (w *World) putBcastEdge(e *bcastEdge) {
 //
 //scaffe:hotpath
 func (e *bcastEdge) RunEvent(k *sim.Kernel) {
+	if pl := e.w.Fault; pl != nil {
+		w := e.w
+		if e.ghost {
+			// A duplicate landing after the original committed: re-copy
+			// only while the op is still live under its key, and never
+			// commit — the original already did.
+			if op := w.bcastOps[e.ghostKey]; op == e.op {
+				if src, dst := op.postBuf[e.parent], op.postBuf[e.child]; src != nil && dst != nil {
+					dst.CopyFrom(src)
+				}
+			}
+			w.putBcastEdge(e)
+			return
+		}
+		if e.op.epoch != w.epoch {
+			pl.NoteStaleDissolved()
+			w.putBcastEdge(e)
+			return
+		}
+		if pl.WireArmed() && !e.replay && !w.perturbEdge(e, k.Now()) {
+			return
+		}
+	}
 	op, parent, child, try, isRootEdge := e.op, e.parent, e.child, e.try, e.isRootEdge
-	w := op.c.w
+	w := e.w
 	w.putBcastEdge(e)
 	if src, dst := op.postBuf[parent], op.postBuf[child]; src != nil && dst != nil {
 		dst.CopyFrom(src)
@@ -321,6 +358,7 @@ func (op *bcastOp) scheduleEdge(w *World, parent, child int) {
 	}
 	_, end := w.Cluster.Transfer(at, from.Dev.ID, to.Dev.ID, op.bytes, op.mode)
 	e := w.getBcastEdge()
+	e.w = w
 	e.op, e.parent, e.child, e.try, e.isRootEdge = op, parent, child, 0, parent == op.root
 	w.K.AtRun(end, e)
 }
@@ -401,6 +439,7 @@ func (op *bcastOp) retransmitEdge(w *World, parent, child, try int, isRootEdge b
 	from, to := op.c.rankAt(parent), op.c.rankAt(child)
 	_, end := w.Cluster.Transfer(w.K.Now(), from.Dev.ID, to.Dev.ID, op.bytes, op.mode)
 	e := w.getBcastEdge()
+	e.w = w
 	e.op, e.parent, e.child, e.try, e.isRootEdge = op, parent, child, try, isRootEdge
 	w.K.AtRun(end, e)
 }

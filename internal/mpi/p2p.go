@@ -339,6 +339,7 @@ func (r *Rank) irecv(c *Comm, from, tag int, buf *gpu.Buffer, s *Summed) *Reques
 // recycled in the meantime).
 type delivery struct {
 	sender  *Rank
+	recv    *Rank
 	src     *gpu.Buffer
 	recvReq *Request
 	sendReq *Request
@@ -346,12 +347,46 @@ type delivery struct {
 	sendGen uint64
 	summed  *Summed
 	mode    topology.TransferMode
+	// epoch stamps the membership epoch of the sending instant; a
+	// landing against a later epoch dissolves (see World.bumpEpoch).
+	epoch int
+	// replay marks a landing already perturbed once (held or stashed):
+	// it lands without consulting the wire plane again. ghost marks a
+	// duplicate landing, which re-copies under generation guards but
+	// never settles the integrity handle.
+	replay bool
+	ghost  bool
 }
 
 // RunEvent implements sim.Runnable.
 //
 //scaffe:hotpath
 func (d *delivery) RunEvent(k *sim.Kernel) {
+	if pl := d.sender.W.Fault; pl != nil {
+		w := d.sender.W
+		if d.epoch != w.epoch {
+			pl.NoteStaleDissolved()
+			w.putDelivery(d)
+			return
+		}
+		if d.ghost {
+			// A duplicate landing: the original has already delivered at
+			// this instant, so the waiter's generations are still valid
+			// and the re-copy is a harmless overwrite with identical
+			// bytes. The integrity handle is NOT re-settled — the payload
+			// arrived once as far as checksumming is concerned.
+			if d.recvReq.done.Gen() == d.recvGen {
+				d.recvReq.buf.CopyFrom(d.src)
+			}
+			d.recvReq.Done.FireIf(d.recvGen)
+			d.sendReq.Done.FireIf(d.sendGen)
+			w.putDelivery(d)
+			return
+		}
+		if pl.WireArmed() && !d.replay && !w.perturbDelivery(d, k.Now()) {
+			return
+		}
+	}
 	d.recvReq.buf.CopyFrom(d.src)
 	if s := d.summed; s != nil {
 		s.deliver(d.sender, d.mode)
@@ -377,10 +412,11 @@ func (r *Rank) startTransfer(at sim.Time, dst *Rank, src *gpu.Buffer, recvReq, s
 		end = r.Now()
 	}
 	d := r.W.getDelivery()
-	d.sender, d.src, d.mode = r, src, mode
+	d.sender, d.recv, d.src, d.mode = r, dst, src, mode
 	d.recvReq, d.recvGen = recvReq, recvReq.done.Gen()
 	d.sendReq, d.sendGen = sendReq, sendGen
 	d.summed = recvReq.summed
+	d.epoch = r.W.epoch
 	r.W.K.AtRun(end, d)
 }
 

@@ -41,6 +41,19 @@ type World struct {
 	nextCommID int
 	bcastOps   map[bcastKey]*bcastOp
 
+	// epoch is the membership epoch: bumped by ShrinkComm/GrowComm
+	// (never by plain sub-communicator construction). Every delivery
+	// and broadcast op is stamped with the epoch of its creation, and
+	// a landing whose stamp is stale dissolves instead of touching
+	// post-rebuild state — the fencing that makes held, delayed, and
+	// duplicated wire traffic safe across recoveries.
+	epoch int
+
+	// held stages at most one stashed (reordered) landing per directed
+	// link: the next landing on the link releases it behind itself,
+	// and a failsafe flush bounds how long it can sit.
+	held map[linkKey]heldRec
+
 	// Free lists for pooled hot-path records shared across ranks.
 	delPool   []*delivery
 	bcastPool []*bcastOp
@@ -94,6 +107,22 @@ func (w *World) putDelivery(d *delivery) {
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.Ranks) }
+
+// Epoch returns the current membership epoch (see the epoch field).
+func (w *World) Epoch() int { return w.epoch }
+
+// bumpEpoch advances the membership epoch at a ShrinkComm/GrowComm
+// boundary. Pre-rebuild broadcast ops are dropped from the match table
+// WITHOUT pooling their records: in-flight edges (held, delayed, or
+// simply late) may still reference them, and will dissolve against the
+// stale epoch when they land. Leaking a handful of op records per
+// recovery is the price of never recycling one under a live reference.
+func (w *World) bumpEpoch() {
+	w.epoch++
+	for k := range w.bcastOps {
+		delete(w.bcastOps, k)
+	}
+}
 
 // Spawn starts every rank's main function as a simulated process. The
 // caller then drives the kernel with K.Run().

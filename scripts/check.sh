@@ -67,6 +67,18 @@ for procs in 1 4 16; do
         -count=1 ./internal/core
 done
 
+echo "== chaos smoke =="
+# The seeded chaos plane (DESIGN.md §16): 25 randomized fault
+# schedules — crash/hang/straggle/join plus the lossy-wire family —
+# must terminate finished-or-unrecovered with schedule-consistent
+# counters at every GOMAXPROCS, race-instrumented so the detector
+# watches the wire perturbation hooks and the quorum/fencing paths.
+# The full 200-spec gate (TestChaosGate) runs in the suite below.
+for procs in 1 4 16; do
+    GOMAXPROCS=$procs go test -race -run '^TestChaosSmoke$' \
+        -count=1 ./internal/chaos
+done
+
 echo "== go test -race =="
 # Race instrumentation slows the simulator ~10x; the core package needs
 # more than the default 10-minute per-package budget.
